@@ -1,0 +1,13 @@
+"""Figure 1: distribution of buffer counts over 145 benchmarks."""
+
+from repro.analysis import figures
+
+
+def test_figure1(benchmark, publish):
+    data = benchmark(figures.figure1)
+    publish("figure01", figures.render_figure1(data),
+            data={"summary": data["summary"],
+                  "rows": [{"suite": r.suite, **r.buckets}
+                           for r in data["rows"]]})
+    assert data["summary"]["benchmarks"] == 145
+    assert abs(data["summary"]["average"] - 6.5) < 0.1

@@ -1,0 +1,36 @@
+"""Figure 14: GPUShield runtime overhead per benchmark category.
+
+Runs all 88 CUDA benchmarks at the default (L1:1,L2:3) and slow
+(L1:2,L2:5) RCache latency points, normalized to no bounds checking.
+Expected shape (paper): every category ~1.00; DM (streamcluster) worst;
+geomean overhead well under 1%.
+"""
+
+from conftest import subset
+
+from repro.analysis import figures
+from repro.analysis.results import geomean
+from repro.workloads.suite import CUDA_BENCHMARKS
+
+
+def test_figure14(benchmark, publish):
+    names = subset(CUDA_BENCHMARKS)
+
+    result = benchmark.pedantic(figures.figure14, args=(names,),
+                                rounds=1, iterations=1)
+    publish("figure14", figures.render_figure14(result),
+            data=result.per_benchmark)
+
+    overall = geomean([v["L1:1,L2:3"]
+                       for v in result.per_benchmark.values()])
+    # Paper: 0.8% average slowdown at the default configuration.
+    assert overall < 1.05
+    # The slower RCache never beats the faster one systematically.
+    slow = geomean([v["L1:2,L2:5"] for v in result.per_benchmark.values()])
+    assert slow >= overall - 0.01
+    if "streamcluster" in result.per_benchmark and len(names) > 40:
+        dm = result.per_category.get("DM", {})
+        worst_cat = max(result.per_category,
+                        key=lambda c: result.per_category[c]["L1:1,L2:3"])
+        assert worst_cat == "DM", (
+            "streamcluster's DM category should dominate the overhead")

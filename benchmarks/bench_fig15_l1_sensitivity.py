@@ -1,0 +1,30 @@
+"""Figure 15: L1 RCache size sensitivity (Nvidia, 17 benchmarks).
+
+Sweeps the L1 RCache from 1 to 16 entries over the RCache-sensitive
+benchmark set.  Expected shape (paper): hit rate grows with size and a
+4-entry L1 RCache reaches ~100% for most benchmarks.
+"""
+
+from conftest import subset
+
+from repro.analysis import figures
+from repro.analysis.results import geomean
+from repro.workloads.suite import RCACHE_SENSITIVE
+
+
+def test_figure15(benchmark, publish):
+    names = subset(RCACHE_SENSITIVE)
+    data = benchmark.pedantic(figures.figure15, args=(names,),
+                              rounds=1, iterations=1)
+    publish("figure15",
+            figures.render_rcache_sensitivity(data, "Figure 15 (Nvidia)"),
+            data={k: {str(s): v for s, v in vals.items()}
+                  for k, vals in data.items()})
+
+    for name, vals in data.items():
+        sizes = sorted(vals)
+        # Monotone non-decreasing hit rate with capacity.
+        rates = [vals[s] for s in sizes]
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:])), name
+    # 4 entries suffice on (geometric) average — the paper's conclusion.
+    assert geomean([vals[4] for vals in data.values()]) > 0.85

@@ -1,0 +1,38 @@
+"""Figure 17: the effect of compile-time bounds-check filtering.
+
+Runs the 17 RCache-sensitive benchmarks under four GPUShield
+configurations with longer RCache latencies (L1:1/L1:2, L2:5), with and
+without static analysis.  Expected shape (paper): +static reduces
+overhead; graph benchmarks (bc, bfs-dtc, gc-dtc, sssp-dwc, nw) keep low
+reduction rates because of indirect accesses, lud reaches 100%.
+"""
+
+from conftest import subset
+
+from repro.analysis import figures
+from repro.analysis.results import geomean
+from repro.workloads.suite import RCACHE_SENSITIVE
+
+
+def test_figure17(benchmark, publish):
+    names = subset(RCACHE_SENSITIVE)
+    result = benchmark.pedantic(figures.figure17, args=(names,),
+                                rounds=1, iterations=1)
+    publish("figure17", figures.render_figure17(result),
+            data={"normalized": result.normalized,
+                  "reduction": result.reduction})
+
+    with_static = geomean([v["L1:1,L2:5+static"]
+                           for v in result.normalized.values()])
+    without = geomean([v["L1:1,L2:5"] for v in result.normalized.values()])
+    assert with_static <= without + 0.001
+
+    if "lud-64" in result.reduction:
+        assert result.reduction["lud-64"] == 100.0
+    graphish = [n for n in ("bc", "bfs-dtc", "gc-dtc", "sssp-dwc", "nw")
+                if n in result.reduction]
+    for name in graphish:
+        assert result.reduction[name] < 70.0, (
+            f"{name} is indirect-heavy; static filtering must stay partial")
+    if "streamcluster" in result.reduction:
+        assert 30.0 < result.reduction["streamcluster"] < 70.0

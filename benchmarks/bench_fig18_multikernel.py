@@ -1,0 +1,31 @@
+"""Figure 18: concurrent multi-kernel execution on the Intel GPU.
+
+All 21 pairs of the seven memory-intensive OpenCL benchmarks run in
+inter-core (split SMs) and intra-core (shared SMs) modes, normalized to
+the same pair without bounds checking.  Expected shape (paper): average
+overhead under ~1%, worst pairs a few percent.
+"""
+
+import os
+
+from repro.analysis import figures
+from repro.analysis.results import geomean
+from repro.workloads.suite import MULTIKERNEL_SET
+
+
+def test_figure18(benchmark, publish):
+    pairs = [(a, b) for i, a in enumerate(MULTIKERNEL_SET)
+             for b in MULTIKERNEL_SET[i + 1:]]
+    limit = os.environ.get("REPRO_SUBSET")
+    if limit:
+        pairs = pairs[: int(limit)]
+
+    data = benchmark.pedantic(figures.figure18, args=(pairs,),
+                              rounds=1, iterations=1)
+    publish("figure18", figures.render_figure18(data), data=data)
+
+    inter = geomean([v["inter_core"] for v in data.values()])
+    intra = geomean([v["intra_core"] for v in data.values()])
+    # Paper: <0.3% average overhead; allow a loose band for the model.
+    assert inter < 1.08
+    assert intra < 1.08

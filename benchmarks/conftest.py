@@ -1,0 +1,45 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every bench regenerates one table or figure of the paper, prints the
+rows/series, and persists them under ``benchmarks/results/`` so
+EXPERIMENTS.md numbers can be traced to a run.
+
+Scale knobs (environment):
+
+* ``REPRO_SCALE``   — workload size multiplier (default 1.0);
+* ``REPRO_SUBSET``  — if set to N, large sweeps use only the first N
+  benchmarks (useful for smoke runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def subset(names):
+    limit = os.environ.get("REPRO_SUBSET")
+    if limit:
+        return list(names)[: int(limit)]
+    return list(names)
+
+
+@pytest.fixture
+def publish():
+    """Persist and print a rendered figure."""
+
+    def _publish(name: str, text: str, data=None):
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, indent=2, default=str))
+        print()
+        print(text)
+
+    return _publish

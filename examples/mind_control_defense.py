@@ -1,0 +1,119 @@
+"""The mind-control attack's setup phase, and GPUShield stopping it.
+
+The attack (paper §3.1/§5.7, Park et al. 2021) targets DNN inference
+servers: a malicious input overflows a global weights buffer to
+overwrite an adjacent function-pointer table, hijacking control flow to
+degrade model predictions.
+
+This example builds a miniature version of that pipeline:
+
+* a "layer dispatch table" maps layer ids to activation-function ids;
+* an inference kernel reads inputs, applies the activation selected by
+  the table, and writes predictions;
+* the attacker's payload makes a preprocessing kernel write past the
+  weights buffer, flipping the table entry from RELU to a degenerate
+  "zero" activation.
+
+Without GPUShield the predictions collapse to zero; with it, the rogue
+store is dropped, the violation is logged, and accuracy is preserved.
+
+Run:  python examples/mind_control_defense.py
+"""
+
+import struct
+
+from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
+
+RELU = 1
+ZEROED = 0
+
+
+def preprocess_kernel():
+    """Copies the input into the weights buffer... unless the payload
+    length makes it write past the end (the injected overflow)."""
+    b = KernelBuilder("preprocess")
+    payload = b.arg_ptr("payload", read_only=True)
+    weights = b.arg_ptr("weights")
+    length = b.arg_scalar("length")   # attacker-controlled!
+    gtid = b.gtid()
+    p = b.setp("lt", gtid, length)
+    with b.if_(p):
+        v = b.ld_idx(payload, b.mod(gtid, 64), dtype="i32")
+        b.st_idx(weights, gtid, v, dtype="i32")
+    return b.build()
+
+
+def inference_kernel():
+    """pred[i] = activation_table[0] == RELU ? max(x, 0) : 0."""
+    b = KernelBuilder("inference")
+    table = b.arg_ptr("table", read_only=True)
+    x = b.arg_ptr("x", read_only=True)
+    pred = b.arg_ptr("pred")
+    n = b.arg_scalar("n")
+    gtid = b.gtid()
+    p = b.setp("lt", gtid, n)
+    with b.if_(p):
+        mode = b.ld_idx(table, 0, dtype="i32")
+        xv = b.ld_idx(x, gtid, dtype="f32")
+        relu = b.fmax(xv, 0.0)
+        is_relu = b.setp("eq", mode, RELU)
+        b.st_idx(pred, gtid, b.sel(is_relu, relu, 0.0), dtype="f32")
+    return b.build()
+
+
+def run_pipeline(shield: bool):
+    session = GpuSession(
+        nvidia_config(num_cores=2),
+        shield=ShieldConfig(enabled=True) if shield else None)
+    n = 256
+
+    weights = session.driver.malloc(n * 4, name="weights")
+    table = session.driver.malloc(64, name="activation_table")
+    x = session.driver.malloc(n * 4, name="x")
+    pred = session.driver.malloc(n * 4, name="pred")
+    payload = session.driver.malloc(64 * 4, name="payload")
+
+    session.driver.write_i32(table, 0, RELU)
+    session.driver.write(x, struct.pack(f"<{n}f",
+                                        *[(-1.0) ** i * i for i in range(n)]))
+    session.driver.write(payload, struct.pack("<64i", *([ZEROED] * 64)))
+
+    # The attacker claims the payload is longer than the weights buffer:
+    # enough extra elements to reach the adjacent table allocation.
+    overflow_length = (table.va - weights.va) // 4 + 1
+    _res, violations = session.run(
+        preprocess_kernel(),
+        {"payload": payload, "weights": weights, "length": overflow_length},
+        workgroups=-(-overflow_length // 64), wg_size=64)
+
+    session.run(inference_kernel(),
+                {"table": table, "x": x, "pred": pred, "n": n},
+                workgroups=n // 64, wg_size=64)
+    preds = struct.unpack(f"<{n}f", session.driver.read(pred))
+    nonzero = sum(1 for v in preds if v != 0.0)
+    mode = session.driver.read_i32(table, 0)
+    return mode, nonzero, violations
+
+
+def main():
+    print("== native GPU ==")
+    mode, nonzero, _ = run_pipeline(shield=False)
+    print(f"  activation table entry: {mode} "
+          f"({'RELU' if mode == RELU else 'HIJACKED -> zeroed'})")
+    print(f"  non-zero predictions: {nonzero}/256")
+    assert mode == ZEROED, "attack should succeed without protection"
+
+    print("\n== with GPUShield ==")
+    mode, nonzero, violations = run_pipeline(shield=True)
+    print(f"  activation table entry: {mode} "
+          f"({'RELU' if mode == RELU else 'HIJACKED'})")
+    print(f"  non-zero predictions: {nonzero}/256")
+    print(f"  logged violations: {len(violations)} "
+          f"(first: {violations[0].reason} at [{violations[0].lo:#x}, "
+          f"{violations[0].hi:#x}])")
+    assert mode == RELU, "GPUShield must keep the table intact"
+    assert nonzero > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so a
+PEP 517 editable install cannot build; this classic setup.py keeps
+``pip install -e .`` working through the legacy code path.  Package
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("GPUShield reproduction: region-based bounds checking "
+                 "for GPUs (ISCA 2022)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate paper artefacts on demand.
+
+Usage::
+
+    python -m repro list                 # available artefacts
+    python -m repro fig1                 # buffer-count distribution
+    python -m repro table3               # BCU area/power
+    python -m repro fig14 --subset 8     # overhead sweep on 8 benchmarks
+    python -m repro fig19                # software-tool comparison
+
+Artefacts that need long sweeps accept ``--subset N`` to restrict to the
+first N benchmarks of the relevant set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.analysis import figures
+from repro.workloads.suite import (
+    CUDA_BENCHMARKS,
+    MULTIKERNEL_SET,
+    OPENCL_BENCHMARKS,
+    RCACHE_SENSITIVE,
+    RODINIA_FIG19,
+)
+
+
+def _maybe(names, subset: Optional[int]):
+    names = list(names)
+    return names[:subset] if subset else names
+
+
+def run_artifact(name: str, subset: Optional[int] = None) -> str:
+    """Regenerate one artefact and return its rendered text."""
+    if name == "fig1":
+        return figures.render_figure1(figures.figure1())
+    if name == "fig11":
+        return figures.render_figure11(figures.figure11())
+    if name == "table3":
+        return figures.render_table3(figures.table3())
+    if name == "fig14":
+        result = figures.figure14(_maybe(CUDA_BENCHMARKS, subset))
+        return figures.render_figure14(result)
+    if name == "fig15":
+        data = figures.figure15(_maybe(RCACHE_SENSITIVE, subset))
+        return figures.render_rcache_sensitivity(data, "Figure 15 (Nvidia)")
+    if name == "fig16":
+        data = figures.figure16(_maybe(OPENCL_BENCHMARKS, subset))
+        return figures.render_rcache_sensitivity(data, "Figure 16 (Intel)")
+    if name == "fig17":
+        result = figures.figure17(_maybe(RCACHE_SENSITIVE, subset))
+        return figures.render_figure17(result)
+    if name == "fig18":
+        pairs = [(a, b) for i, a in enumerate(MULTIKERNEL_SET)
+                 for b in MULTIKERNEL_SET[i + 1:]]
+        data = figures.figure18(pairs[:subset] if subset else pairs)
+        return figures.render_figure18(data)
+    if name == "fig19":
+        data = figures.figure19(_maybe(RODINIA_FIG19, subset))
+        return figures.render_figure19(data)
+    raise SystemExit(f"unknown artefact {name!r} (try: python -m repro list)")
+
+
+ARTIFACTS = ["fig1", "fig11", "table3", "fig14", "fig15", "fig16",
+             "fig17", "fig18", "fig19"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate GPUShield paper tables/figures.")
+    parser.add_argument("artifact",
+                        help="one of: list, " + ", ".join(ARTIFACTS))
+    parser.add_argument("--subset", type=int, default=None,
+                        help="restrict sweeps to the first N benchmarks")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "list":
+        print("available artefacts:")
+        for name in ARTIFACTS:
+            print(f"  {name}")
+        return 0
+    print(run_artifact(args.artifact, args.subset))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

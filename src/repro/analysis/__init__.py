@@ -1,0 +1,13 @@
+"""Run harness, result aggregation and figure/table reporting."""
+
+from repro.analysis.results import RunRecord, geomean
+from repro.analysis.harness import run_benchmark, run_workload
+from repro.analysis import report
+
+__all__ = [
+    "RunRecord",
+    "geomean",
+    "run_benchmark",
+    "run_workload",
+    "report",
+]

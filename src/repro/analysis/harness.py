@@ -1,0 +1,163 @@
+"""The run harness: workload -> session -> launches -> RunRecord.
+
+:class:`WorkloadRunner` allocates a workload's buffers, initialises their
+contents (NumPy-generated, deterministic) and executes the kernel
+sequence ``repeats`` times, accumulating cycles and GPUShield statistics.
+Per-launch hooks let the baseline tools (clArmor, GMOD) interpose real
+work around every kernel invocation, exactly where the real tools hook
+the runtime.
+
+A healthy benchmark run must not trigger violations: the harness raises
+if any are reported, which doubles as a continuous no-false-positive
+check on the whole GPUShield stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.analysis.results import RunRecord
+from repro.core.shield import ShieldConfig
+from repro.driver.allocator import Buffer
+from repro.gpu.config import GPUConfig, nvidia_config
+from repro.gpu.gpu import LaunchResult
+from repro.session import GpuSession
+from repro.workloads.suite import BenchmarkDef
+from repro.workloads.templates import BufferSpec, Workload
+
+#: Cap on host-initialised bytes per buffer; the declared allocation can
+#: be larger (Figure 11 footprints) but kernels only touch a prefix.
+_INIT_CAP = 2 << 20
+
+LaunchHook = Callable[["WorkloadRunner", LaunchResult], int]
+
+
+def _init_buffer(session: GpuSession, buf: Buffer, spec: BufferSpec,
+                 seed: int) -> None:
+    n_bytes = min(spec.nbytes, _INIT_CAP)
+    n_words = n_bytes // 4
+    if n_words == 0 or spec.init == "zero":
+        return
+    rng = np.random.default_rng(seed)
+    if spec.init == "randf":
+        data = rng.random(n_words, dtype=np.float32)
+    elif spec.init == "iota":
+        data = np.arange(n_words, dtype=np.int32)
+    elif spec.init.startswith("index:"):
+        _tag, _target, limit = spec.init.split(":")
+        data = rng.integers(0, max(int(limit), 1), n_words, dtype=np.int32)
+    elif spec.init.startswith("csr_rows:"):
+        degree = int(spec.init.split(":")[1])
+        data = (np.arange(n_words, dtype=np.int64) * degree).astype(np.int32)
+    else:
+        raise ValueError(f"unknown init {spec.init!r}")
+    session.driver.write(buf, data.tobytes())
+
+
+class WorkloadRunner:
+    """One workload bound to one session, ready to execute."""
+
+    def __init__(self, workload: Workload,
+                 config: Optional[GPUConfig] = None,
+                 shield: Optional[ShieldConfig] = None,
+                 config_name: str = "", seed: int = 11,
+                 allow_violations: bool = False, alloc_pad: int = 0):
+        """``alloc_pad`` grows every allocation by that many tail bytes —
+        how canary tools (clArmor/GMOD) intercept ``malloc`` to make room
+        for their guard words."""
+        self.workload = workload
+        self.config = config or nvidia_config()
+        self.session = GpuSession(self.config, shield=shield, seed=seed)
+        self.config_name = config_name or self.config.name
+        self.allow_violations = allow_violations
+        self.alloc_pad = alloc_pad
+        self.buffers: Dict[str, Buffer] = {}
+        for i, spec in enumerate(workload.buffers):
+            region = getattr(spec, "region", "global")
+            buf = self.session.driver.allocator.malloc(
+                spec.nbytes + alloc_pad, name=spec.name, region=region,
+                # Page-level read-only is only guaranteed for the
+                # constant/texture regions (Table 1); global read-only
+                # buffers rely on GPUShield's RBT flag.
+                read_only=spec.read_only and region in ("constant",
+                                                        "texture"))
+            _init_buffer(self.session, buf, spec, seed=seed * 1009 + i)
+            self.buffers[spec.name] = buf
+
+    def data_end(self, name: str) -> int:
+        """First byte past the workload's own data in buffer ``name``."""
+        return self.buffers[name].va + self.buffers[name].size - self.alloc_pad
+
+    def run(self, pre_launch: Optional[LaunchHook] = None,
+            post_launch: Optional[LaunchHook] = None) -> RunRecord:
+        """Execute all launches; hooks return extra cycles to account."""
+        workload = self.workload
+        record = RunRecord(benchmark=workload.name, config=self.config_name)
+        driver = self.session.driver
+        gpu = self.session.gpu
+        for _rep in range(workload.repeats):
+            for run in workload.runs:
+                args = {}
+                for pname, (kind, value) in run.args.items():
+                    if kind == "buf":
+                        args[pname] = self.buffers[value]
+                    elif kind == "sizeof":
+                        args[pname] = (self.buffers[value].size
+                                       - self.alloc_pad)
+                    else:
+                        args[pname] = value
+                if pre_launch is not None:
+                    record.cycles += pre_launch(self, None)
+                launch = driver.launch(run.kernel, args,
+                                       run.workgroups, run.wg_size)
+                result = gpu.run(launch)
+                violations = driver.finish(launch)
+                record.cycles += result.cycles
+                record.instructions += result.instructions
+                record.mem_instructions += result.mem_instructions
+                record.transactions += result.transactions
+                record.launches += 1
+                record.aborted = record.aborted or result.aborted
+                record.violations += len(violations)
+                if violations and not self.allow_violations:
+                    first = violations[0]
+                    raise AssertionError(
+                        f"benchmark {workload.name} triggered a bounds "
+                        f"violation ({first.reason} on buffer "
+                        f"{first.buffer_id}): the workload or the checker "
+                        f"is wrong")
+                if post_launch is not None:
+                    record.cycles += post_launch(self, result)
+
+        shield_obj = self.session.shield
+        if shield_obj.enabled:
+            record.l1_rcache_hit_rate = shield_obj.l1_hit_rate()
+            record.l2_rcache_hit_rate = shield_obj.l2_hit_rate()
+            record.check_reduction_percent = shield_obj.reduction_percent()
+            record.bcu_stall_cycles = shield_obj.total_stall_cycles()
+            record.rbt_fills = shield_obj.total_rbt_fills()
+        hits = sum(c.l1d.stats.hits for c in gpu.cores)
+        accesses = sum(c.l1d.stats.accesses for c in gpu.cores)
+        record.l1d_hit_rate = hits / accesses if accesses else 1.0
+        return record
+
+
+def run_workload(workload: Workload, config: Optional[GPUConfig] = None,
+                 shield: Optional[ShieldConfig] = None,
+                 config_name: str = "", seed: int = 11,
+                 allow_violations: bool = False) -> RunRecord:
+    """Execute one workload instance; returns the aggregated record."""
+    runner = WorkloadRunner(workload, config=config, shield=shield,
+                            config_name=config_name, seed=seed,
+                            allow_violations=allow_violations)
+    return runner.run()
+
+
+def run_benchmark(bench: BenchmarkDef, config: Optional[GPUConfig] = None,
+                  shield: Optional[ShieldConfig] = None,
+                  config_name: str = "", seed: int = 11) -> RunRecord:
+    """Build and run a registered benchmark."""
+    return run_workload(bench.build(), config=config, shield=shield,
+                        config_name=config_name, seed=seed)

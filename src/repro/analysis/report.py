@@ -1,0 +1,71 @@
+"""Plain-text table/series printers used by the benchmark harness.
+
+Every figure/table bench prints the same rows or series the paper
+reports, via these helpers, and also dumps JSON next to the output so
+EXPERIMENTS.md numbers can be regenerated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def table(title: str, headers: Sequence[str],
+          rows: Iterable[Sequence[object]], floatfmt: str = ".3f") -> str:
+    """Render an aligned text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series(title: str, points: Dict[str, float], unit: str = "",
+           floatfmt: str = ".3f") -> str:
+    """Render one named series (a line/bar group of a figure)."""
+    lines = [f"{title}{f' ({unit})' if unit else ''}"]
+    width = max((len(k) for k in points), default=0)
+    for key, value in points.items():
+        lines.append(f"  {key.ljust(width)}  {format(value, floatfmt)}")
+    return "\n".join(lines)
+
+
+def banner(text: str) -> str:
+    bar = "#" * (len(text) + 4)
+    return f"{bar}\n# {text} #\n{bar}"
+
+
+def bars(title: str, values: Dict[str, float], width: int = 42,
+         floatfmt: str = ".2f", log_scale: bool = False) -> str:
+    """Render a horizontal ASCII bar chart (one bar per key).
+
+    ``log_scale`` compresses slowdown charts where one tool is orders of
+    magnitude worse (Figure 19's clipped axis).
+    """
+    import math
+    if not values:
+        return title
+    def mag(v: float) -> float:
+        if log_scale:
+            return math.log10(max(v, 1e-12) + 1.0)
+        return max(v, 0.0)
+    peak = max(mag(v) for v in values.values()) or 1.0
+    key_w = max(len(k) for k in values)
+    lines = [title]
+    for key, value in values.items():
+        n = int(round(width * mag(value) / peak))
+        lines.append(f"  {key.ljust(key_w)} |{'#' * n:<{width}}| "
+                     f"{format(value, floatfmt)}")
+    return "\n".join(lines)

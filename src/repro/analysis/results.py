@@ -1,0 +1,60 @@
+"""Run records and statistics helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class RunRecord:
+    """Aggregated outcome of running one workload under one configuration."""
+
+    benchmark: str
+    config: str
+    cycles: int = 0
+    instructions: int = 0
+    mem_instructions: int = 0
+    transactions: int = 0
+    launches: int = 0
+    l1d_hit_rate: float = 1.0
+    l1_rcache_hit_rate: float = 1.0
+    l2_rcache_hit_rate: float = 1.0
+    check_reduction_percent: float = 0.0
+    bcu_stall_cycles: int = 0
+    rbt_fills: int = 0
+    violations: int = 0
+    aborted: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def normalized_to(self, baseline: "RunRecord") -> float:
+        """Normalized execution time over a baseline run (Figures 14-19)."""
+        if baseline.cycles == 0:
+            return 1.0
+        return self.cycles / baseline.cycles
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def save_records(records: List[RunRecord], path: str) -> None:
+    """Persist run records as JSON (benchmarks write these under results/)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps([r.to_json() for r in records], indent=2))
+
+
+def load_records(path: str) -> List[RunRecord]:
+    blobs = json.loads(Path(path).read_text())
+    return [RunRecord(**blob) for blob in blobs]

@@ -1,0 +1,135 @@
+"""Memory-access tracing: capture, summarise, export.
+
+Attach a :class:`MemoryTracer` to a GPU and every warp-level memory
+instruction is recorded after coalescing and bounds checking — the same
+vantage point the BCU has.  Useful for debugging workloads, validating
+access-pattern claims (affine vs indirect), and teaching.
+
+    tracer = MemoryTracer()
+    session.gpu.attach_tracer(tracer)
+    session.run(...)
+    print(render_summary(tracer.summarize()))
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One warp memory instruction, post-coalescing."""
+
+    cycle: int
+    core: int
+    warp_id: int
+    kernel_id: int
+    space: str
+    is_store: bool
+    lo: int                  # lowest byte touched
+    hi: int                  # highest byte touched (inclusive)
+    transactions: int
+    active_lanes: int
+    allowed: bool            # False when the BCU blocked it
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates over a capture."""
+
+    events: int = 0
+    stores: int = 0
+    blocked: int = 0
+    by_space: Dict[str, int] = field(default_factory=dict)
+    transactions: int = 0
+    footprint_lines: int = 0         # distinct 128B segments touched
+    footprint_pages_4k: int = 0      # distinct 4KB pages touched
+    max_range_bytes: int = 0         # widest single warp access
+
+
+class MemoryTracer:
+    """Collects :class:`TraceEvent` records (bounded, drop-oldest)."""
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- analysis ---------------------------------------------------------------
+
+    def summarize(self) -> TraceSummary:
+        summary = TraceSummary()
+        lines = set()
+        pages = set()
+        spaces: Counter = Counter()
+        for ev in self.events:
+            summary.events += 1
+            summary.stores += 1 if ev.is_store else 0
+            summary.blocked += 0 if ev.allowed else 1
+            summary.transactions += ev.transactions
+            spaces[ev.space] += 1
+            lines.update(range(ev.lo // 128, ev.hi // 128 + 1))
+            pages.update(range(ev.lo // 4096, ev.hi // 4096 + 1))
+            summary.max_range_bytes = max(summary.max_range_bytes,
+                                          ev.hi - ev.lo + 1)
+        summary.by_space = dict(spaces)
+        summary.footprint_lines = len(lines)
+        summary.footprint_pages_4k = len(pages)
+        return summary
+
+    def stores_to(self, lo: int, hi: int) -> List[TraceEvent]:
+        """All stores overlapping the byte range [lo, hi] — forensic
+        queries like "who wrote over my buffer?"."""
+        return [ev for ev in self.events
+                if ev.is_store and ev.lo <= hi and lo <= ev.hi]
+
+    # -- export -----------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> int:
+        """Write one JSON object per event; returns the event count."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(asdict(ev)) + "\n")
+        return len(self.events)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "MemoryTracer":
+        tracer = cls()
+        with Path(path).open() as fh:
+            for line in fh:
+                tracer.record(TraceEvent(**json.loads(line)))
+        return tracer
+
+
+def render_summary(summary: TraceSummary) -> str:
+    lines = [
+        "memory trace summary",
+        f"  events:          {summary.events} "
+        f"({summary.stores} stores, {summary.blocked} blocked)",
+        f"  transactions:    {summary.transactions}",
+        f"  footprint:       {summary.footprint_lines} x 128B lines, "
+        f"{summary.footprint_pages_4k} x 4KB pages",
+        f"  widest access:   {summary.max_range_bytes} bytes",
+    ]
+    for space, count in sorted(summary.by_space.items()):
+        lines.append(f"  space {space:8s} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Baseline protection mechanisms the paper compares against (Figure 19).
+
+* :mod:`repro.baselines.memcheck` — CUDA-MEMCHECK-style binary
+  instrumentation: every global/local memory operation gains a shadow
+  metadata load plus a software check routine, and the debug runtime
+  degrades cache behaviour;
+* :mod:`repro.baselines.canary` — clArmor-style canary allocation with a
+  host-side scan after every kernel launch;
+* :mod:`repro.baselines.gmod` — GMOD-style guard threads with mandatory
+  constructor/destructor work on every kernel launch;
+* :mod:`repro.baselines.swbounds` — in-kernel ``if (idx < n)`` software
+  bounds checks (§6.4 / Figure 13).
+"""
+
+from repro.baselines.memcheck import instrument_workload, memcheck_config
+from repro.baselines.canary import CanaryRunner
+from repro.baselines.gmod import GmodRunner
+from repro.baselines.swbounds import kmeans_swap_sw_checks
+
+__all__ = [
+    "instrument_workload",
+    "memcheck_config",
+    "CanaryRunner",
+    "GmodRunner",
+    "kmeans_swap_sw_checks",
+]

@@ -1,0 +1,124 @@
+"""CUDA-MEMCHECK-style instrumentation baseline (paper §8.5).
+
+CUDA-MEMCHECK JIT-instruments every memory operation: the tool inserts a
+call-out that loads allocation metadata from a shadow table and runs a
+software check, and the debug runtime largely defeats the cache
+hierarchy.  The paper measures a 72.3x geometric-mean slowdown (224x on
+streamcluster, whose instruction mix is 31% loads/stores).
+
+We reproduce the mechanism, not a magic constant:
+
+* :func:`instrument_kernel` rewrites the instruction stream, inserting
+  before every global/local/heap memory operation an address
+  computation, a shadow-table load and a check loop (the JIT call-out);
+* :func:`memcheck_config` degrades the cache configuration to one-set
+  L1/L2 (the debug runtime's bypass behaviour).
+
+The slowdown then *emerges* from the instrumented instruction count and
+the wrecked cache behaviour, and is naturally worst for memory-intensive
+many-launch benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gpu.config import GPUConfig
+from repro.isa.instructions import Imm, Instr, Reg
+from repro.isa.program import Kernel, KernelParam
+from repro.workloads.templates import BufferSpec, KernelRun, Workload
+
+SHADOW_PARAM = "__shadow"
+SHADOW_ENTRIES = 4096
+#: Iterations of the software check routine per memory operation — the
+#: JIT call-out that walks the allocation table.
+CHECK_LOOP_ITERS = 64
+
+
+def instrument_kernel(kernel: Kernel) -> Kernel:
+    """Insert the MEMCHECK call-out before every off-chip memory op."""
+    base_reg = kernel.num_regs
+    t_addr = Reg(base_reg)
+    t_idx = Reg(base_reg + 1)
+    t_meta = Reg(base_reg + 2)
+    t_acc = Reg(base_reg + 3)
+    t_iv = Reg(base_reg + 4)
+    shadow_ptr = Reg(base_reg + 5)
+    num_regs = base_reg + 6
+
+    out: List[Instr] = []
+    for instr in kernel.instructions:
+        if instr.op in ("ld", "st") and instr.space != "shared":
+            base, offset = instr.srcs[0], instr.srcs[1]
+            pred = instr.pred
+            out.extend([
+                # addr = base + offset; idx = (addr >> 12) & (entries-1)
+                Instr("add", dst=t_addr, srcs=(base, offset), pred=pred),
+                Instr("shr", dst=t_idx, srcs=(t_addr, Imm(12)), pred=pred),
+                Instr("and", dst=t_idx,
+                      srcs=(t_idx, Imm(SHADOW_ENTRIES - 1)), pred=pred),
+                Instr("shl", dst=t_idx, srcs=(t_idx, Imm(2)), pred=pred),
+                # shadow metadata load — the extra memory traffic
+                Instr("ld", dst=t_meta, srcs=(shadow_ptr, t_idx),
+                      pred=pred, space="global", dtype="i32"),
+                # the software check routine (allocation-table walk)
+                Instr("mov", dst=t_acc, srcs=(t_meta,), pred=pred),
+                Instr("loop", dst=t_iv, srcs=(Imm(CHECK_LOOP_ITERS),)),
+                Instr("add", dst=t_acc, srcs=(t_acc, t_iv), pred=pred),
+                Instr("and", dst=t_acc, srcs=(t_acc, Imm(0xFFFF)),
+                      pred=pred),
+                Instr("endloop", dst=t_iv),
+            ])
+        out.append(instr)
+
+    params = list(kernel.params)
+    params.append(KernelParam(name=SHADOW_PARAM, kind="buffer",
+                              read_only=True))
+    arg_regs = dict(kernel.arg_regs)
+    arg_regs[SHADOW_PARAM] = shadow_ptr.index
+    return Kernel(
+        name=f"{kernel.name}+memcheck",
+        instructions=out,
+        num_regs=num_regs,
+        params=params,
+        local_vars=list(kernel.local_vars),
+        shared_bytes=kernel.shared_bytes,
+        accesses=list(kernel.accesses),
+        arg_regs=arg_regs,
+    )
+
+
+def instrument_workload(workload: Workload) -> Workload:
+    """Instrument every kernel and add the shadow table buffer."""
+    shadow = BufferSpec(SHADOW_PARAM, SHADOW_ENTRIES * 4, "iota",
+                        read_only=True)
+    kernel_cache: Dict[int, Kernel] = {}
+    runs: List[KernelRun] = []
+    for run in workload.runs:
+        instrumented = kernel_cache.get(id(run.kernel))
+        if instrumented is None:
+            instrumented = instrument_kernel(run.kernel)
+            kernel_cache[id(run.kernel)] = instrumented
+        args = dict(run.args)
+        args[SHADOW_PARAM] = ("buf", SHADOW_PARAM)
+        runs.append(KernelRun(kernel=instrumented, args=args,
+                              workgroups=run.workgroups,
+                              wg_size=run.wg_size))
+    return Workload(
+        name=workload.name,
+        buffers=list(workload.buffers) + [shadow],
+        runs=runs,
+        repeats=workload.repeats,
+        category=workload.category,
+        suite=workload.suite,
+        notes="cuda-memcheck instrumentation",
+    )
+
+
+def memcheck_config(config: GPUConfig) -> GPUConfig:
+    """The debug runtime's cache behaviour: effectively one-set caches."""
+    return config.scaled(
+        l1d_bytes=config.line_size * config.l1d_assoc,
+        l2_bytes=config.line_size * config.l2_assoc,
+        max_warps_per_core=1,   # debug-mode warp serialisation
+    )

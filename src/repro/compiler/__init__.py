@@ -1,0 +1,38 @@
+"""Compiler substrate: mini-IR, data-flow analysis, static bounds checks.
+
+Mirrors the paper's LLVM-based pipeline (§5.3):
+
+1. :mod:`repro.compiler.lowering` turns a kernel's recorded offset
+   expressions into a small SSA IR with GEP/load/store instructions
+   (the shape of Figure 8a);
+2. :mod:`repro.compiler.dataflow` builds the operand tree of every GEP
+   and performs the reverse value-filling traversal with interval
+   arithmetic (Figure 8b);
+3. :mod:`repro.compiler.static_bounds` turns interval results into
+   per-access verdicts and per-pointer protection types;
+4. :mod:`repro.compiler.bat` packages everything into the binary-attached
+   Bounds-Analysis Table the driver consumes at launch (§5.4).
+"""
+
+from repro.compiler.bat import BatRow, BoundsAnalysisTable
+from repro.compiler.dataflow import Interval, LaunchBounds, analyze_function
+from repro.compiler.ir import IRFunction
+from repro.compiler.lowering import lower_kernel
+from repro.compiler.static_bounds import (
+    AccessVerdict,
+    PointerVerdict,
+    StaticBoundsChecker,
+)
+
+__all__ = [
+    "BatRow",
+    "BoundsAnalysisTable",
+    "Interval",
+    "LaunchBounds",
+    "analyze_function",
+    "IRFunction",
+    "lower_kernel",
+    "AccessVerdict",
+    "PointerVerdict",
+    "StaticBoundsChecker",
+]

@@ -1,0 +1,122 @@
+"""The Bounds-Analysis Table (BAT) attached to kernel binaries (§5.4).
+
+The compiler's findings — one row per memory access, plus a per-pointer
+summary — are serialised into a compact binary blob that travels with the
+kernel "binary" and is decoded by the GPU driver at launch time, mirroring
+Figure 9's ③ "BAT attaching" and ④ consumption by the driver.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Tuple
+
+
+class AccessVerdict(IntEnum):
+    """The Out-of-Bounds column of the BAT (Figure 5)."""
+
+    NO = 0        # statically proven in bounds
+    YES = 1       # statically proven out of bounds -> compile-time report
+    UNKNOWN = 2   # needs runtime bounds checking
+
+
+@dataclass(frozen=True)
+class BatRow:
+    """One memory access: Figure 5's (Arg#, LD/ST, Offset, OOB) row."""
+
+    access_id: int
+    param: Optional[str]
+    is_store: bool
+    verdict: AccessVerdict
+    interval: Optional[Tuple[int, int]]   # byte-offset interval, if known
+    offset_repr: str = ""
+
+    _WIRE = struct.Struct("<IHBBqq")
+
+    def pack(self, param_index: int) -> bytes:
+        lo, hi = self.interval if self.interval else (0, -1)
+        return self._WIRE.pack(self.access_id, param_index,
+                               1 if self.is_store else 0,
+                               int(self.verdict), lo, hi)
+
+
+@dataclass
+class BoundsAnalysisTable:
+    """All compiler findings for one kernel at one launch shape."""
+
+    kernel_name: str
+    rows: List[BatRow] = field(default_factory=list)
+    # param -> True when every access through it was proven safe (Type 1)
+    pointer_safe: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def static_errors(self) -> List[BatRow]:
+        """Accesses proven out of bounds — reported to the user (§5.3.2)."""
+        return [r for r in self.rows if r.verdict is AccessVerdict.YES]
+
+    def rows_for(self, param: str) -> List[BatRow]:
+        return [r for r in self.rows if r.param == param]
+
+    def needs_runtime(self, param: str) -> bool:
+        """True when the pointer must stay protected at runtime."""
+        return not self.pointer_safe.get(param, False)
+
+    def safe_access_ids(self) -> frozenset:
+        """Accesses individually proven safe (Type 1 at instruction level)."""
+        return frozenset(r.access_id for r in self.rows
+                         if r.verdict is AccessVerdict.NO)
+
+    # -- binary attachment ------------------------------------------------------
+
+    _HEADER = struct.Struct("<8sHH")
+    _MAGIC = b"GPUSBAT1"
+
+    def to_bytes(self) -> bytes:
+        """Serialise for attachment to the kernel binary."""
+        params = sorted({r.param for r in self.rows if r.param is not None})
+        index = {name: i for i, name in enumerate(params)}
+        blob = [self._HEADER.pack(self._MAGIC, len(params), len(self.rows))]
+        for name in params:
+            encoded = name.encode()
+            blob.append(struct.pack("<B", len(encoded)) + encoded)
+            blob.append(struct.pack("<B", 1 if self.pointer_safe.get(name) else 0))
+        for row in self.rows:
+            blob.append(row.pack(index.get(row.param, 0xFFFF)
+                                 if row.param is not None else 0xFFFF))
+        return b"".join(blob)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes,
+                   kernel_name: str = "") -> "BoundsAnalysisTable":
+        """Decode a binary-attached table (the driver-side path)."""
+        magic, nparams, nrows = cls._HEADER.unpack_from(blob, 0)
+        if magic != cls._MAGIC:
+            raise ValueError("not a BAT blob")
+        offset = cls._HEADER.size
+        params: List[str] = []
+        pointer_safe: Dict[str, bool] = {}
+        for _ in range(nparams):
+            (length,) = struct.unpack_from("<B", blob, offset)
+            offset += 1
+            name = blob[offset:offset + length].decode()
+            offset += length
+            (safe,) = struct.unpack_from("<B", blob, offset)
+            offset += 1
+            params.append(name)
+            pointer_safe[name] = bool(safe)
+        rows: List[BatRow] = []
+        for _ in range(nrows):
+            access_id, pidx, is_store, verdict, lo, hi = \
+                BatRow._WIRE.unpack_from(blob, offset)
+            offset += BatRow._WIRE.size
+            rows.append(BatRow(
+                access_id=access_id,
+                param=params[pidx] if pidx != 0xFFFF else None,
+                is_store=bool(is_store),
+                verdict=AccessVerdict(verdict),
+                interval=(lo, hi) if hi >= lo else None,
+            ))
+        return cls(kernel_name=kernel_name, rows=rows,
+                   pointer_safe=pointer_safe)

@@ -1,0 +1,197 @@
+"""Operand-tree data-flow analysis with interval arithmetic (Figure 8b).
+
+For each ``getelementptr`` the analysis walks the use-def chain down to
+the leaves (the *operand search path*), then fills values back up (the
+*value fill path*): thread-ID intrinsics get their launch-geometry range,
+scalar arguments get the value or declared maximum obtained from host-code
+analysis, loop induction variables get ``[0, count)``, and arithmetic
+nodes combine child intervals.  A ``None`` interval means "statically
+unknown" — the indirect accesses that force runtime checking in the
+paper's graph benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.ir import IRConst, IRFunction, IRInstr, Value
+
+Interval = Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class LaunchBounds:
+    """Everything the analysis may assume about a launch (host analysis).
+
+    ``scalar_args`` maps scalar parameter names to their launch values;
+    parameters absent here but carrying a declared ``max_value`` fall back
+    to ``[0, max_value]``; otherwise they are unknown.
+    """
+
+    workgroups: int
+    workgroup_size: int
+    scalar_args: Dict[str, int] = field(default_factory=dict)
+    scalar_maxima: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_threads(self) -> int:
+        return self.workgroups * self.workgroup_size
+
+    def special_interval(self, name: str) -> Interval:
+        if name == "tid":
+            return (0, self.workgroup_size - 1)
+        if name == "ctaid":
+            return (0, self.workgroups - 1)
+        if name == "ntid":
+            return (self.workgroup_size, self.workgroup_size)
+        if name == "nctaid":
+            return (self.workgroups, self.workgroups)
+        if name == "gtid":
+            return (0, self.total_threads - 1)
+        if name == "lane":
+            return (0, self.workgroup_size - 1)
+        return None
+
+    def arg_interval(self, name: str) -> Interval:
+        if name in self.scalar_args:
+            v = self.scalar_args[name]
+            return (v, v)
+        if name in self.scalar_maxima:
+            return (0, self.scalar_maxima[name])
+        return None
+
+
+# -- interval arithmetic ---------------------------------------------------------
+
+
+def _iv_add(a, b):
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _iv_sub(a, b):
+    return (a[0] - b[1], a[1] - b[0])
+
+
+def _iv_mul(a, b):
+    corners = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (min(corners), max(corners))
+
+
+def _iv_div(a, b):
+    if b[0] <= 0 <= b[1]:
+        return None  # possible division by zero: give up
+    corners = []
+    for x in a:
+        for y in b:
+            corners.append(int(x / y) if (x < 0) != (y < 0) and x % y else x // y)
+    # Conservative: use floor division corners both ways.
+    corners.extend(a[i] // b[j] for i in range(2) for j in range(2))
+    return (min(corners), max(corners))
+
+
+def _iv_mod(a, b):
+    if b[0] > 0:
+        if 0 <= a[0] and a[1] < b[0]:
+            return a  # no wrap possible
+        return (0, b[1] - 1)
+    return None
+
+
+def _iv_shl(a, b):
+    if b[0] < 0:
+        return None
+    corners = (a[0] << b[0], a[0] << b[1], a[1] << b[0], a[1] << b[1])
+    return (min(corners), max(corners))
+
+
+def _iv_shr(a, b):
+    if b[0] < 0 or a[0] < 0:
+        return None
+    return (a[0] >> b[1], a[1] >> b[0])
+
+
+def _iv_min(a, b):
+    return (min(a[0], b[0]), min(a[1], b[1]))
+
+
+def _iv_max(a, b):
+    return (max(a[0], b[0]), max(a[1], b[1]))
+
+
+def _iv_and(a, b):
+    if a[0] < 0 or b[0] < 0:
+        return None
+    # x & y <= min(x, y) for non-negative values.
+    return (0, min(a[1], b[1]))
+
+
+_BINOPS = {
+    "add": _iv_add,
+    "sub": _iv_sub,
+    "mul": _iv_mul,
+    "sdiv": _iv_div,
+    "srem": _iv_mod,
+    "shl": _iv_shl,
+    "lshr": _iv_shr,
+    "smin": _iv_min,
+    "smax": _iv_max,
+    "and": _iv_and,
+}
+
+
+class _TreeAnalyzer:
+    """Evaluates one function's values under given launch bounds."""
+
+    def __init__(self, bounds: LaunchBounds):
+        self.bounds = bounds
+        self._memo: Dict[int, Interval] = {}
+
+    def interval(self, value: Value) -> Interval:
+        if isinstance(value, IRConst):
+            return (value.value, value.value)
+        key = id(value)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # cycle guard (SSA shouldn't cycle, but be safe)
+        result = self._eval(value)
+        self._memo[key] = result
+        return result
+
+    def _eval(self, instr: IRInstr) -> Interval:
+        op = instr.opcode
+        if op == "call":
+            if instr.callee == "induction":
+                count = self.interval(instr.operands[0])
+                if count is None:
+                    return None
+                if count[1] <= 0:
+                    return (0, 0)
+                return (0, count[1] - 1)
+            if instr.callee and instr.callee.startswith("get_"):
+                return self.bounds.special_interval(instr.callee[4:])
+            return None
+        if op == "load_arg":
+            return self.bounds.arg_interval(instr.callee or "")
+        if op in _BINOPS:
+            left = self.interval(instr.operands[0])
+            right = self.interval(instr.operands[1])
+            if left is None or right is None:
+                return None
+            return _BINOPS[op](left, right)
+        if op == "getelementptr":
+            return self.interval(instr.operands[0])
+        # alloca / opaque load / store: unknown
+        return None
+
+
+def analyze_function(fn: IRFunction,
+                     bounds: LaunchBounds) -> Dict[int, Interval]:
+    """Interval of the byte offset of every access (keyed by access_id)."""
+    analyzer = _TreeAnalyzer(bounds)
+    results: Dict[int, Interval] = {}
+    for gep in fn.geps():
+        if gep.access_id is None:
+            continue
+        results[gep.access_id] = analyzer.interval(gep)
+    return results

@@ -1,0 +1,91 @@
+"""A miniature LLVM-like SSA intermediate representation.
+
+Only what the bounds analysis needs: arithmetic, calls to intrinsic value
+sources (thread IDs, loop induction variables), loads of kernel arguments,
+``getelementptr`` address computations and the memory operations hanging
+off them.  Every value is produced by exactly one instruction (SSA), so
+use-def chains — the "operand search path" of Figure 8b — are direct
+operand references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+ARITH_OPS = frozenset({
+    "add", "sub", "mul", "sdiv", "srem", "shl", "lshr", "smin", "smax", "and",
+})
+
+
+@dataclass(frozen=True)
+class IRConst:
+    """A literal operand."""
+
+    value: int
+
+    def __repr__(self):
+        return f"i32 {self.value}"
+
+
+@dataclass
+class IRInstr:
+    """One SSA instruction; ``name`` is its result identifier (%n)."""
+
+    opcode: str
+    operands: Sequence[Union["IRInstr", IRConst]]
+    name: str
+    # Intrinsic calls carry the callee; geps carry the pointer argument
+    # name; loads/stores carry the access id they implement.
+    callee: Optional[str] = None
+    pointer_param: Optional[str] = None
+    access_id: Optional[int] = None
+    comment: str = ""
+
+    def __repr__(self):
+        ops = ", ".join(repr(o) if isinstance(o, IRConst) else o.name
+                        for o in self.operands)
+        extra = f" @{self.callee}" if self.callee else ""
+        return f"{self.name} = {self.opcode}{extra} {ops}".strip()
+
+
+Value = Union[IRInstr, IRConst]
+
+
+@dataclass
+class IRFunction:
+    """A lowered kernel: instruction list in program order."""
+
+    name: str
+    instructions: List[IRInstr] = field(default_factory=list)
+    _counter: int = 0
+
+    def fresh_name(self, hint: str = "") -> str:
+        self._counter += 1
+        return f"%{hint or 'v'}{self._counter}"
+
+    def emit(self, opcode: str, operands: Sequence[Value] = (), *,
+             callee: Optional[str] = None, pointer_param: Optional[str] = None,
+             access_id: Optional[int] = None, hint: str = "",
+             comment: str = "") -> IRInstr:
+        instr = IRInstr(opcode=opcode, operands=tuple(operands),
+                        name=self.fresh_name(hint), callee=callee,
+                        pointer_param=pointer_param, access_id=access_id,
+                        comment=comment)
+        self.instructions.append(instr)
+        return instr
+
+    def geps(self) -> List[IRInstr]:
+        """All address computations (the analysis entry points)."""
+        return [i for i in self.instructions if i.opcode == "getelementptr"]
+
+    def memory_ops(self) -> List[IRInstr]:
+        return [i for i in self.instructions if i.opcode in ("load", "store")
+                and i.access_id is not None]
+
+    def dump(self) -> str:
+        """Textual IR (for documentation and debugging)."""
+        body = "\n".join(
+            f"  {instr!r}" + (f"  ; {instr.comment}" if instr.comment else "")
+            for instr in self.instructions)
+        return f"define @{self.name}() {{\n{body}\n}}"

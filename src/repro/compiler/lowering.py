@@ -1,0 +1,100 @@
+"""Lowering: kernel offset expressions -> mini-IR (the Figure 8a shape).
+
+For every memory access the kernel performs we emit the IR a front-end
+would have produced: intrinsic calls for thread IDs and loop induction
+variables, loads of scalar arguments, the arithmetic of the index
+computation, a ``getelementptr`` combining the pointer argument with the
+byte offset, and the ``load``/``store`` using it.  The static analysis
+then works purely on this IR — it never peeks at the builder's records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import CompileError
+from repro.isa import exprs
+from repro.isa.program import Kernel
+from repro.compiler.ir import IRConst, IRFunction, IRInstr, Value
+
+_BIN_TO_IR = {
+    "add": "add",
+    "sub": "sub",
+    "mul": "mul",
+    "div": "sdiv",
+    "mod": "srem",
+    "shl": "shl",
+    "shr": "lshr",
+    "min": "smin",
+    "max": "smax",
+    "and": "and",
+}
+
+
+class _Lowerer:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.fn = IRFunction(name=kernel.name)
+        self._cache: Dict[exprs.Expr, Value] = {}
+
+    def lower(self) -> IRFunction:
+        for access in self.kernel.accesses:
+            if access.space == "shared":
+                continue  # on-chip shared memory is outside GPUShield scope
+            offset = self._value(access.offset_expr)
+            gep = self.fn.emit(
+                "getelementptr", (offset,),
+                pointer_param=access.param,
+                access_id=access.access_id,
+                hint="arrayidx",
+                comment=f"&{access.param or '<heap>'} + {access.offset_expr!r}",
+            )
+            opcode = "store" if access.is_store else "load"
+            self.fn.emit(opcode, (gep,), access_id=access.access_id,
+                         pointer_param=access.param, hint=opcode[0])
+        return self.fn
+
+    def _value(self, expr: exprs.Expr) -> Value:
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached
+        value = self._lower_expr(expr)
+        self._cache[expr] = value
+        return value
+
+    def _lower_expr(self, expr: exprs.Expr) -> Value:
+        if isinstance(expr, exprs.Const):
+            return IRConst(expr.value)
+        if isinstance(expr, exprs.SpecialRef):
+            return self.fn.emit("call", (), callee=f"get_{expr.name}",
+                                hint=expr.name)
+        if isinstance(expr, exprs.ArgRef):
+            # Arguments arrive via an alloca+store+load triple, like the
+            # clang -O0 pattern of Figure 8a.
+            alloca = self.fn.emit("alloca", (), hint=f"{expr.name}.addr")
+            self.fn.emit("store_arg", (alloca,), callee=expr.name,
+                         hint=f"{expr.name}.store")
+            return self.fn.emit("load_arg", (alloca,), callee=expr.name,
+                                hint=expr.name)
+        if isinstance(expr, exprs.RangeVal):
+            count = self._value(expr.count)
+            return self.fn.emit("call", (count,), callee="induction",
+                                hint="iv")
+        if isinstance(expr, exprs.Bin):
+            ir_op = _BIN_TO_IR.get(expr.op)
+            if ir_op is None:
+                raise CompileError(f"cannot lower operator {expr.op!r}")
+            left = self._value(expr.left)
+            right = self._value(expr.right)
+            return self.fn.emit(ir_op, (left, right), hint=expr.op)
+        if isinstance(expr, exprs.Unknown):
+            # A value the compiler cannot see through (e.g. loaded from
+            # memory): lower as an opaque load.
+            ptr = self.fn.emit("alloca", (), hint="opaque")
+            return self.fn.emit("load", (ptr,), hint="opaque")
+        raise CompileError(f"cannot lower expression {expr!r}")
+
+
+def lower_kernel(kernel: Kernel) -> IRFunction:
+    """Lower all checked memory accesses of ``kernel`` to IR."""
+    return _Lowerer(kernel).lower()

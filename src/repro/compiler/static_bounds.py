@@ -1,0 +1,124 @@
+"""Static bounds checking: intervals -> verdicts -> pointer types (§5.3).
+
+Given a kernel, the launch bounds (geometry + scalar argument knowledge
+from host-code analysis) and the buffer sizes, classify every access:
+
+* ``NO``  — the whole interval of touched bytes fits the buffer: no
+  runtime check needed;
+* ``YES`` — the access provably escapes the buffer for some thread:
+  reported to the user at compile time (Figure 5's "Error Report");
+* ``UNKNOWN`` — interval unknown (indirect index, opaque scalar):
+  runtime bounds checking required.
+
+A pointer argument is *safe* (Type 1, C=0 pointer) only when **all**
+accesses through it are ``NO``; heap pointers and shared-memory accesses
+never participate (heap regions are checked as one region at runtime,
+shared memory is out of GPUShield's scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.compiler.bat import AccessVerdict, BatRow, BoundsAnalysisTable
+from repro.compiler.dataflow import LaunchBounds, analyze_function
+from repro.compiler.lowering import lower_kernel
+from repro.isa.instructions import DTYPE_SIZE
+from repro.isa.program import Kernel
+
+
+@dataclass(frozen=True)
+class PointerVerdict:
+    """Summary for one pointer argument."""
+
+    param: str
+    safe: bool
+    checked_accesses: int
+    unknown_accesses: int
+    static_oob: int
+
+
+class StaticBoundsChecker:
+    """Runs the full §5.3 pipeline: lower -> analyze -> classify."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def analyze(self, kernel: Kernel, bounds: LaunchBounds,
+                buffer_sizes: Dict[str, int]) -> BoundsAnalysisTable:
+        """Produce the kernel's BAT for one launch shape.
+
+        ``buffer_sizes`` maps pointer parameters (including the driver's
+        ``__local_*`` pseudo-parameters) to their byte sizes.
+        """
+        bat = BoundsAnalysisTable(kernel_name=kernel.name)
+        if not self.enabled:
+            # Analysis disabled (the "no static" configurations of
+            # Figure 17): everything needs runtime checking.
+            for access in kernel.accesses:
+                if access.space == "shared":
+                    continue
+                bat.rows.append(BatRow(
+                    access_id=access.access_id, param=access.param,
+                    is_store=access.is_store,
+                    verdict=AccessVerdict.UNKNOWN, interval=None,
+                    offset_repr=repr(access.offset_expr)))
+            for name in {a.param for a in kernel.accesses if a.param}:
+                bat.pointer_safe[name] = False
+            return bat
+
+        fn = lower_kernel(kernel)
+        intervals = analyze_function(fn, bounds)
+
+        for access in kernel.accesses:
+            if access.space == "shared":
+                continue
+            interval = intervals.get(access.access_id)
+            size = buffer_sizes.get(access.param) if access.param else None
+            verdict = self._classify(interval, size,
+                                     DTYPE_SIZE[access.dtype])
+            bat.rows.append(BatRow(
+                access_id=access.access_id, param=access.param,
+                is_store=access.is_store, verdict=verdict,
+                interval=interval, offset_repr=repr(access.offset_expr)))
+
+        params = {a.param for a in kernel.accesses
+                  if a.param and a.space != "shared"}
+        for name in params:
+            rows = bat.rows_for(name)
+            safe = (bool(rows)
+                    and not name.startswith("__heap")
+                    and all(r.verdict is AccessVerdict.NO for r in rows))
+            bat.pointer_safe[name] = safe
+        return bat
+
+    @staticmethod
+    def _classify(interval, size: Optional[int],
+                  access_bytes: int) -> AccessVerdict:
+        if interval is None or size is None:
+            return AccessVerdict.UNKNOWN
+        lo, hi = interval
+        last_byte = hi + access_bytes - 1
+        if lo >= 0 and last_byte < size:
+            return AccessVerdict.NO
+        # The interval of thread-dependent offsets is tight at the ends
+        # (it is achieved by the first/last thread), so escaping bounds
+        # means some thread really goes out of bounds.
+        return AccessVerdict.YES
+
+    def pointer_verdicts(self, bat: BoundsAnalysisTable) -> Dict[str, PointerVerdict]:
+        """Per-pointer roll-up used by reports and tests."""
+        out: Dict[str, PointerVerdict] = {}
+        for name, safe in bat.pointer_safe.items():
+            rows = bat.rows_for(name)
+            out[name] = PointerVerdict(
+                param=name,
+                safe=safe,
+                checked_accesses=len(rows),
+                unknown_accesses=sum(
+                    1 for r in rows if r.verdict is AccessVerdict.UNKNOWN),
+                static_oob=sum(
+                    1 for r in rows if r.verdict is AccessVerdict.YES),
+            )
+        return out

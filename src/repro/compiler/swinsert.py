@@ -1,0 +1,176 @@
+"""Compiler-inserted software bounds checks (the paper's §5.7 fallback).
+
+The paper notes that protection could alternatively be provided "by
+using software-based bounds checking".  This pass implements that
+alternative so it can be compared against the hardware mechanism:
+
+* consume the kernel's BAT: accesses *proven* safe need no guard
+  (the same filtering GPUShield's Type-1 pointers get);
+* every unproven global/local access is wrapped in an inline guard
+  comparing its byte offset against the region size, which arrives as a
+  synthesised ``__size_<param>`` scalar argument;
+* guarded stores are skipped and guarded loads deliver zero when the
+  check fails — matching GPUShield's logging-policy semantics, minus
+  the report.
+
+Costs appear exactly where real software checking pays them: extra
+instructions in every workitem and divergence on partially-failing
+warps.  Heap pointers cannot be guarded this way (their region is not a
+kernel argument) — one of the reasons the paper prefers hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.bat import BoundsAnalysisTable
+from repro.isa.instructions import DTYPE_SIZE, Imm, Instr, Reg
+from repro.isa.program import Kernel, KernelParam
+
+
+def size_param_name(param: str) -> str:
+    return f"__size_{param}"
+
+
+def insert_software_checks(kernel: Kernel,
+                           bat: Optional[BoundsAnalysisTable] = None
+                           ) -> Kernel:
+    """Return a kernel with inline guards on unproven accesses.
+
+    With ``bat=None`` every global/local access is guarded (no static
+    filtering); otherwise accesses in ``bat.safe_access_ids()`` are left
+    unguarded.
+    """
+    safe: Set[int] = bat.safe_access_ids() if bat is not None else set()
+    guarded_params: List[str] = []
+    for access in kernel.accesses:
+        if (access.space in ("global", "local")
+                and access.param is not None
+                and access.access_id not in safe
+                and access.param not in guarded_params):
+            guarded_params.append(access.param)
+
+    base_reg = kernel.num_regs
+    t_lo = Reg(base_reg)        # offset >= 0 predicate
+    t_hi = Reg(base_reg + 1)    # offset + width <= size predicate
+    t_ok = Reg(base_reg + 2)    # combined guard
+    size_regs: Dict[str, Reg] = {
+        param: Reg(base_reg + 3 + i)
+        for i, param in enumerate(guarded_params)
+    }
+    num_regs = base_reg + 3 + len(guarded_params)
+
+    out: List[Instr] = []
+    for instr in kernel.instructions:
+        needs_guard = (
+            instr.op in ("ld", "st")
+            and instr.space in ("global", "local")
+            and instr.param in size_regs
+            and (instr.access_id is None or instr.access_id not in safe)
+        )
+        if not needs_guard:
+            out.append(instr)
+            continue
+        offset = instr.srcs[1]
+        width = DTYPE_SIZE[instr.dtype]
+        size_reg = size_regs[instr.param]
+        # Guard: 0 <= offset and offset <= size - width.
+        out.extend([
+            Instr("setp", dst=t_lo, srcs=(offset, Imm(0)), cmp="ge",
+                  pred=instr.pred),
+            Instr("sub", dst=t_ok, srcs=(size_reg, Imm(width)),
+                  pred=instr.pred),
+            Instr("setp", dst=t_hi, srcs=(offset, t_ok), cmp="le",
+                  pred=instr.pred),
+            Instr("and", dst=t_ok, srcs=(t_lo, t_hi), pred=instr.pred),
+            Instr("if", srcs=(t_ok,)),
+            instr,
+            Instr("endif"),
+        ])
+
+    params = list(kernel.params)
+    arg_regs = dict(kernel.arg_regs)
+    for param in guarded_params:
+        name = size_param_name(param)
+        params.append(KernelParam(name=name, kind="scalar"))
+        arg_regs[name] = size_regs[param].index
+
+    return Kernel(
+        name=f"{kernel.name}+swchecks",
+        instructions=out,
+        num_regs=num_regs,
+        params=params,
+        local_vars=list(kernel.local_vars),
+        shared_bytes=kernel.shared_bytes,
+        accesses=list(kernel.accesses),
+        arg_regs=arg_regs,
+    )
+
+
+def guarded_access_count(kernel: Kernel) -> int:
+    """How many memory instructions ended up wrapped (for reporting)."""
+    count = 0
+    for i, instr in enumerate(kernel.instructions):
+        if instr.op in ("ld", "st") and i > 0 \
+                and kernel.instructions[i - 1].op == "if":
+            count += 1
+    return count
+
+
+def transform_workload(workload, use_bat: bool = True):
+    """Apply software-check insertion to a whole workload.
+
+    With ``use_bat=True`` the static analysis first filters provably-safe
+    accesses (the paper's §8.5 point that GPUShield's static analysis
+    also helps software schemes); with ``use_bat=False`` every access is
+    guarded, like a naive instrumenting compiler.
+    """
+    from repro.compiler.dataflow import LaunchBounds
+    from repro.compiler.static_bounds import StaticBoundsChecker
+    from repro.workloads.templates import KernelRun, Workload
+
+    spec_sizes = {spec.name: spec.nbytes for spec in workload.buffers}
+    checker = StaticBoundsChecker()
+    kernel_cache = {}
+    runs = []
+    for run in workload.runs:
+        key = id(run.kernel)
+        if key not in kernel_cache:
+            bat = None
+            if use_bat:
+                scalar_args = {p: v for p, (k, v) in run.args.items()
+                               if k == "scalar" and isinstance(v, int)}
+                buffer_sizes = {}
+                for p, (k, v) in run.args.items():
+                    if k == "buf":
+                        buffer_sizes[p] = spec_sizes[v]
+                total = run.workgroups * run.wg_size
+                for var in run.kernel.local_vars:
+                    buffer_sizes[f"__local_{var.name}"] = \
+                        var.words_per_thread * 4 * total
+                bounds = LaunchBounds(workgroups=run.workgroups,
+                                      workgroup_size=run.wg_size,
+                                      scalar_args=scalar_args)
+                bat = checker.analyze(run.kernel, bounds, buffer_sizes)
+            kernel_cache[key] = insert_software_checks(run.kernel, bat)
+        new_kernel = kernel_cache[key]
+        args = dict(run.args)
+        buf_of = {p: v for p, (k, v) in run.args.items() if k == "buf"}
+        total = run.workgroups * run.wg_size
+        for param in new_kernel.params:
+            if param.name.startswith("__size_"):
+                target = param.name[len("__size_"):]
+                if target in buf_of:
+                    args[param.name] = ("sizeof", buf_of[target])
+                elif target.startswith("__local_"):
+                    var = next(v for v in new_kernel.local_vars
+                               if f"__local_{v.name}" == target)
+                    args[param.name] = ("scalar",
+                                        var.words_per_thread * 4 * total)
+        runs.append(KernelRun(kernel=new_kernel, args=args,
+                              workgroups=run.workgroups,
+                              wg_size=run.wg_size))
+    return Workload(name=workload.name, buffers=list(workload.buffers),
+                    runs=runs, repeats=workload.repeats,
+                    category=workload.category, suite=workload.suite,
+                    notes="software-inserted bounds checks")

@@ -1,0 +1,50 @@
+"""GPUShield core: pointer tagging, bounds metadata, RCaches, BCU, costs.
+
+This package implements the paper's primary contribution (Section 5):
+
+* :mod:`repro.core.pointer` — the three tagged-pointer formats of Figure 7.
+* :mod:`repro.core.crypto` — per-kernel 14-bit buffer-ID encryption.
+* :mod:`repro.core.bounds` — bounds metadata and the Region Bounds Table.
+* :mod:`repro.core.rcache` — the L1 (FIFO) and L2 (fully-assoc) RCaches.
+* :mod:`repro.core.bcu` — the bounds-checking unit and its pipeline timing.
+* :mod:`repro.core.violations` — violation logging / reporting policies.
+* :mod:`repro.core.shield` — a facade wiring compiler, driver and hardware.
+* :mod:`repro.core.hwcost` — the analytic area/power model behind Table 3.
+"""
+
+from repro.core.bounds import Bounds, RegionBoundsTable, RBT_ENTRIES
+from repro.core.crypto import IdCipher
+from repro.core.pointer import (
+    PointerType,
+    TaggedPointer,
+    make_base_pointer,
+    make_offset_pointer,
+    make_unprotected_pointer,
+)
+from repro.core.rcache import L1RCache, L2RCache, RCacheEntry
+from repro.core.bcu import BoundsCheckingUnit, BCUConfig, CheckOutcome
+from repro.core.violations import ReportPolicy, ViolationLog, ViolationRecord
+from repro.core.shield import GPUShield, ShieldConfig
+
+__all__ = [
+    "Bounds",
+    "RegionBoundsTable",
+    "RBT_ENTRIES",
+    "IdCipher",
+    "PointerType",
+    "TaggedPointer",
+    "make_base_pointer",
+    "make_offset_pointer",
+    "make_unprotected_pointer",
+    "L1RCache",
+    "L2RCache",
+    "RCacheEntry",
+    "BoundsCheckingUnit",
+    "BCUConfig",
+    "CheckOutcome",
+    "ReportPolicy",
+    "ViolationLog",
+    "ViolationRecord",
+    "GPUShield",
+    "ShieldConfig",
+]

@@ -1,0 +1,154 @@
+"""Bounds metadata and the Region Bounds Table (paper Figure 6, §5.2.3).
+
+Each protected region (host-allocated buffer, local variable, or the whole
+heap) has one :class:`Bounds` record.  The driver stores one record per
+14-bit buffer ID in a per-kernel :class:`RegionBoundsTable` (RBT), a
+16384-entry direct-mapped structure living in GPU global memory.
+
+The in-memory wire format packs each entry into 12 bytes, matching the
+paper's layout where the ``valid`` and ``readonly`` bits are physically
+stored in the upper bits of the 48-bit base address::
+
+    [8 bytes]  bit63 = valid, bit62 = readonly, bits[47:0] = base address
+    [4 bytes]  32-bit size
+
+The BCU fetches entries through this byte format (so tests can corrupt the
+backing memory and observe real failures), while the driver keeps the
+object view for convenience.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.crypto import ID_BITS, ID_SPACE
+from repro.core.pointer import VA_MASK
+
+RBT_ENTRIES = ID_SPACE  # 16384 entries, indexed by the 14-bit buffer ID
+ENTRY_BYTES = 12
+_VALID_BIT = 1 << 63
+_READONLY_BIT = 1 << 62
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Bounds metadata for one protected region (paper Figure 6)."""
+
+    base_addr: int
+    size: int
+    read_only: bool = False
+    valid: bool = True
+
+    def __post_init__(self):
+        if self.base_addr < 0 or self.base_addr > VA_MASK:
+            raise ValueError(f"base address {self.base_addr:#x} exceeds 48 bits")
+        if self.size < 0 or self.size >= (1 << 32):
+            raise ValueError(f"size {self.size} does not fit in 32 bits")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base_addr + self.size
+
+    def contains_range(self, lo: int, hi: int) -> bool:
+        """True iff the closed byte range [lo, hi] lies inside the region."""
+        return self.base_addr <= lo and hi < self.end
+
+    def pack(self) -> bytes:
+        """Encode to the 12-byte wire format used in device memory."""
+        word = self.base_addr & VA_MASK
+        if self.valid:
+            word |= _VALID_BIT
+        if self.read_only:
+            word |= _READONLY_BIT
+        return struct.pack("<QI", word, self.size)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "Bounds":
+        """Decode the 12-byte wire format."""
+        if len(blob) != ENTRY_BYTES:
+            raise ValueError(f"expected {ENTRY_BYTES} bytes, got {len(blob)}")
+        word, size = struct.unpack("<QI", blob)
+        return cls(
+            base_addr=word & VA_MASK,
+            size=size,
+            read_only=bool(word & _READONLY_BIT),
+            valid=bool(word & _VALID_BIT),
+        )
+
+
+_INVALID = Bounds(base_addr=0, size=0, read_only=False, valid=False)
+
+
+class RegionBoundsTable:
+    """The per-kernel RBT: 16384 direct-mapped :class:`Bounds` entries.
+
+    The table is sparse in Python (a dict keyed by ID); ``lookup`` of an
+    unassigned ID returns an *invalid* entry, which is what the hardware
+    would read from the zero-initialised table — a forged/incorrectly
+    decrypted ID therefore fails its bounds check (paper §6.1).
+    """
+
+    def __init__(self):
+        self._entries: dict[int, Bounds] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _check_id(buffer_id: int) -> None:
+        if not 0 <= buffer_id < RBT_ENTRIES:
+            raise ValueError(f"buffer id {buffer_id} out of {ID_BITS}-bit range")
+
+    def set(self, buffer_id: int, bounds: Bounds) -> None:
+        """Install bounds metadata at ``buffer_id`` (driver-only operation)."""
+        self._check_id(buffer_id)
+        self._entries[buffer_id] = bounds
+
+    def invalidate(self, buffer_id: int) -> None:
+        """Clear an entry (buffer freed before kernel completion)."""
+        self._check_id(buffer_id)
+        self._entries.pop(buffer_id, None)
+
+    def lookup(self, buffer_id: int) -> Bounds:
+        """Read the entry for ``buffer_id`` (invalid entry if unassigned)."""
+        self._check_id(buffer_id)
+        return self._entries.get(buffer_id, _INVALID)
+
+    def assigned_ids(self):
+        """IDs currently holding valid metadata (driver bookkeeping)."""
+        return sorted(self._entries)
+
+    # -- device-memory image ------------------------------------------------
+
+    @property
+    def image_size(self) -> int:
+        """Bytes needed for the full table in device memory."""
+        return RBT_ENTRIES * ENTRY_BYTES
+
+    def entry_offset(self, buffer_id: int) -> int:
+        """Byte offset of an entry inside the device-memory image."""
+        self._check_id(buffer_id)
+        return buffer_id * ENTRY_BYTES
+
+    def write_image(self, write, base_addr: int) -> None:
+        """Serialise assigned entries through ``write(addr, bytes)``.
+
+        Only assigned entries are written; the surrounding pages are
+        expected to be zero-initialised (all-invalid) by the allocator.
+        """
+        for buffer_id, bounds in self._entries.items():
+            write(base_addr + self.entry_offset(buffer_id), bounds.pack())
+
+    @staticmethod
+    def read_entry(read, base_addr: int, buffer_id: int) -> Bounds:
+        """Fetch one entry through ``read(addr, size) -> bytes``.
+
+        This is the path the BCU uses on an L2 RCache miss: a physical
+        read of the table image, bypassing address translation (§5.4).
+        """
+        RegionBoundsTable._check_id(buffer_id)
+        blob = read(base_addr + buffer_id * ENTRY_BYTES, ENTRY_BYTES)
+        return Bounds.unpack(blob)

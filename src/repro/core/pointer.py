@@ -1,0 +1,136 @@
+"""Tagged-pointer formats used by GPUShield (paper Figure 7).
+
+A pointer is a 64-bit value.  The low 48 bits are the virtual address; the
+upper 16 bits carry GPUShield metadata:
+
+* bits ``[63:62]`` — the *C* field selecting the pointer type;
+* bits ``[61:48]`` — a 14-bit payload whose meaning depends on *C*.
+
+==== ===================== =============================================
+C    name                  payload
+==== ===================== =============================================
+0    ``UNPROTECTED``       unused (static analysis proved safety: Type 1)
+1    ``BASE``              encrypted 14-bit buffer ID (Type 2)
+2    ``OFFSET_OPT``        log2 of the (power-of-two padded) size (Type 3)
+==== ===================== =============================================
+
+Pointer arithmetic on tagged pointers must only touch the low 48 bits so
+the metadata survives address computation — :func:`tagged_add` implements
+exactly that, mirroring how real hardware ignores the upper bits during
+effective-address generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.utils.bitops import bit_slice, mask, set_bit_slice, to_unsigned64
+
+VA_BITS = 48
+VA_MASK = mask(VA_BITS)
+PAYLOAD_BITS = 14
+PAYLOAD_LO = VA_BITS
+TYPE_LO = VA_BITS + PAYLOAD_BITS
+TYPE_BITS = 2
+
+
+class PointerType(IntEnum):
+    """The C field of Figure 7."""
+
+    UNPROTECTED = 0
+    BASE = 1
+    OFFSET_OPT = 2
+
+
+@dataclass(frozen=True)
+class TaggedPointer:
+    """A decoded view of a 64-bit tagged pointer.
+
+    ``raw`` is the canonical representation stored in registers and memory;
+    the other fields are derived.  Use :func:`decode` to build one.
+    """
+
+    raw: int
+    ptype: PointerType
+    payload: int
+    va: int
+
+    def __int__(self) -> int:
+        return self.raw
+
+
+def encode(va: int, ptype: PointerType, payload: int = 0) -> int:
+    """Pack a virtual address, pointer type and payload into 64 bits."""
+    if va < 0 or va > VA_MASK:
+        raise ValueError(f"virtual address {va:#x} does not fit in {VA_BITS} bits")
+    raw = va
+    raw = set_bit_slice(raw, PAYLOAD_LO, PAYLOAD_BITS, payload)
+    raw = set_bit_slice(raw, TYPE_LO, TYPE_BITS, int(ptype))
+    return raw
+
+
+def decode(raw: int) -> TaggedPointer:
+    """Split a 64-bit pointer into its type, payload and virtual address."""
+    raw = to_unsigned64(raw)
+    type_field = bit_slice(raw, TYPE_LO, TYPE_BITS)
+    try:
+        ptype = PointerType(type_field)
+    except ValueError:
+        # C=3 is reserved; hardware treats it as unprotected but a decoder
+        # flagging it helps tests catch corrupted tags.
+        ptype = PointerType.UNPROTECTED
+    return TaggedPointer(
+        raw=raw,
+        ptype=ptype,
+        payload=bit_slice(raw, PAYLOAD_LO, PAYLOAD_BITS),
+        va=raw & VA_MASK,
+    )
+
+
+def make_unprotected_pointer(va: int) -> int:
+    """Type 1 pointer: static analysis proved all accesses in bounds."""
+    return encode(va, PointerType.UNPROTECTED, 0)
+
+
+def make_base_pointer(va: int, encrypted_id: int) -> int:
+    """Type 2 pointer: carries the encrypted buffer ID for RBT lookup."""
+    return encode(va, PointerType.BASE, encrypted_id)
+
+
+def make_offset_pointer(va: int, log2_size: int) -> int:
+    """Type 3 pointer: carries log2 of the padded buffer size (§5.3.3)."""
+    if not 0 <= log2_size < (1 << PAYLOAD_BITS):
+        raise ValueError(f"log2_size {log2_size} out of payload range")
+    return encode(va, PointerType.OFFSET_OPT, log2_size)
+
+
+def pointer_type(raw: int) -> PointerType:
+    """Fast path: extract only the C field."""
+    return decode(raw).ptype
+
+
+def virtual_address(raw: int) -> int:
+    """Strip metadata: the low 48 address bits."""
+    return to_unsigned64(raw) & VA_MASK
+
+
+def payload(raw: int) -> int:
+    """Extract the 14-bit payload field."""
+    return bit_slice(to_unsigned64(raw), PAYLOAD_LO, PAYLOAD_BITS)
+
+
+def tagged_add(raw: int, delta: int) -> int:
+    """Pointer arithmetic that preserves the metadata bits.
+
+    The virtual-address field wraps modulo 2**48, exactly as address
+    generation hardware that ignores the tag bits would behave.
+    """
+    raw = to_unsigned64(raw)
+    meta = raw & ~VA_MASK
+    return meta | ((raw + delta) & VA_MASK)
+
+
+def retag(raw: int, ptype: PointerType, payload_value: int) -> int:
+    """Replace the metadata of an existing pointer (used by the driver)."""
+    return encode(virtual_address(raw), ptype, payload_value)

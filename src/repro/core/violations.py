@@ -1,0 +1,94 @@
+"""Bounds-violation logging and reporting policies (paper §5.5.2).
+
+When the BCU detects an out-of-bounds access it can:
+
+* ``PRECISE`` — raise immediately (GPUs with precise exceptions);
+* ``LOG`` — record the error, return zero for loads, and silently drop
+  stores; errors are reported when the kernel finishes;
+* ``SIGNAL_HOST`` — like ``LOG`` but also appends the record to a shared
+  SVM mailbox so the host can observe violations mid-kernel.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.errors import BoundsViolation
+
+
+class ReportPolicy(Enum):
+    """How a detected violation is surfaced."""
+
+    PRECISE = "precise"
+    LOG = "log"
+    SIGNAL_HOST = "signal_host"
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One detected out-of-bounds access."""
+
+    kernel_id: int
+    buffer_id: int
+    lo: int
+    hi: int
+    is_store: bool
+    reason: str
+    cycle: int = 0
+
+    _WIRE = struct.Struct("<IIQQBxxxQ")
+
+    def pack(self) -> bytes:
+        """Serialise for the SVM mailbox (host-observable format)."""
+        return self._WIRE.pack(
+            self.kernel_id, self.buffer_id, self.lo, self.hi,
+            1 if self.is_store else 0, self.cycle,
+        )
+
+    @classmethod
+    def unpack(cls, blob: bytes, reason: str = "mailbox") -> "ViolationRecord":
+        kernel_id, buffer_id, lo, hi, is_store, cycle = cls._WIRE.unpack(blob)
+        return cls(kernel_id=kernel_id, buffer_id=buffer_id, lo=lo, hi=hi,
+                   is_store=bool(is_store), reason=reason, cycle=cycle)
+
+    @classmethod
+    def wire_size(cls) -> int:
+        return cls._WIRE.size
+
+
+@dataclass
+class ViolationLog:
+    """Error log kept by the BCU, drained at kernel completion."""
+
+    policy: ReportPolicy = ReportPolicy.LOG
+    records: List[ViolationRecord] = field(default_factory=list)
+    mailbox_write: Optional[Callable[[bytes], None]] = None
+
+    def report(self, record: ViolationRecord) -> None:
+        """Handle one violation according to the active policy."""
+        if self.policy is ReportPolicy.PRECISE:
+            raise BoundsViolation(
+                kernel_id=record.kernel_id,
+                buffer_id=record.buffer_id,
+                lo=record.lo,
+                hi=record.hi,
+                is_store=record.is_store,
+                reason=record.reason,
+            )
+        self.records.append(record)
+        if self.policy is ReportPolicy.SIGNAL_HOST and self.mailbox_write:
+            self.mailbox_write(record.pack())
+
+    def drain(self) -> List[ViolationRecord]:
+        """Return and clear the accumulated records (end-of-kernel report)."""
+        out, self.records = self.records, []
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)

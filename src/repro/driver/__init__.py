@@ -1,0 +1,21 @@
+"""GPU driver model: allocation, SVM, heap, and GPUShield kernel setup.
+
+The driver is the trusted software half of GPUShield (paper §5.4): it
+owns device memory, assigns random unique buffer IDs, encrypts them,
+tags pointers, and materialises the per-kernel RBT in device memory.
+"""
+
+from repro.driver.allocator import Buffer, DeviceAllocator, MemoryRegions
+from repro.driver.heap import DeviceHeap
+from repro.driver.svm import SvmMailbox
+from repro.driver.driver import GpuDriver, LaunchContext
+
+__all__ = [
+    "Buffer",
+    "DeviceAllocator",
+    "MemoryRegions",
+    "DeviceHeap",
+    "SvmMailbox",
+    "GpuDriver",
+    "LaunchContext",
+]

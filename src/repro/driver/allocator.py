@@ -1,0 +1,171 @@
+"""Device memory allocator.
+
+Reproduces the allocation behaviour the paper's Figure 4 experiment
+depends on:
+
+* buffers are aligned to 512 bytes (the "default 512B address alignment"
+  that *suppresses* small overflow writes into padding);
+* device pages (2MB on the Nvidia configuration) are mapped on demand, so
+  consecutive small buffers share a page — an overflow write inside the
+  page silently corrupts the neighbour, while crossing into an unmapped
+  page faults ("kernel aborted with an illegal memory access error");
+* with ``pow2_pad=True`` (Intel / Type-3 mode, §5.3.3) every buffer is
+  padded to the next power of two, enabling offset-optimised pointers at
+  the cost of fragmentation.
+
+Separate regions exist for constant data, global buffers, the device
+heap, local (stack) memory and driver-internal structures (the RBT).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AllocationError
+from repro.gpu.memory import AddressSpace, PageFlags, PhysicalMemory
+from repro.utils.bitops import next_power_of_two, round_up
+
+
+@dataclass(frozen=True)
+class MemoryRegions:
+    """Base addresses of the device virtual-memory regions."""
+
+    constant: int = 0x1000_0000_0000
+    texture: int = 0x1800_0000_0000
+    global_: int = 0x2000_0000_0000
+    heap: int = 0x6000_0000_0000
+    local: int = 0x7000_0000_0000
+    internal: int = 0x0F00_0000_0000   # RBT and other driver structures
+
+    def region_of(self, va: int) -> str:
+        if va >= self.local:
+            return "local"
+        if va >= self.heap:
+            return "heap"
+        if va >= self.global_:
+            return "global"
+        if va >= self.texture:
+            return "texture"
+        if va >= self.constant:
+            return "constant"
+        return "internal"
+
+
+_buffer_ids = itertools.count(1)
+
+
+@dataclass
+class Buffer:
+    """One device allocation as the host sees it."""
+
+    va: int
+    size: int              # requested size
+    padded_size: int       # size actually reserved (alignment / pow2 pad)
+    region: str
+    name: str = ""
+    read_only: bool = False
+    svm: bool = False
+    freed: bool = False
+    handle: int = field(default_factory=lambda: next(_buffer_ids))
+
+    @property
+    def end(self) -> int:
+        return self.va + self.size
+
+
+class DeviceAllocator:
+    """Bump allocator over the region layout with on-demand page mapping."""
+
+    def __init__(self, memory: PhysicalMemory, space: AddressSpace,
+                 regions: Optional[MemoryRegions] = None,
+                 alignment: int = 512, pow2_pad: bool = False):
+        self.memory = memory
+        self.space = space
+        self.regions = regions or MemoryRegions()
+        self.alignment = alignment
+        self.pow2_pad = pow2_pad
+        self._cursors: Dict[str, int] = {
+            "constant": self.regions.constant,
+            "texture": self.regions.texture,
+            "global": self.regions.global_,
+            "local": self.regions.local,
+            "internal": self.regions.internal,
+        }
+        self.allocations: List[Buffer] = []
+
+    def malloc(self, size: int, *, name: str = "", read_only: bool = False,
+               svm: bool = False, region: str = "global") -> Buffer:
+        """Allocate ``size`` bytes; maps the covering pages on demand."""
+        if size <= 0:
+            raise AllocationError(f"bad allocation size {size}")
+        if region not in self._cursors:
+            raise AllocationError(f"unknown region {region!r}")
+        padded = round_up(size, self.alignment)
+        if self.pow2_pad:
+            padded = max(next_power_of_two(size), self.alignment)
+        cursor = round_up(self._cursors[region], self.alignment)
+        if self.pow2_pad:
+            # Power-of-two padded buffers are naturally aligned so the
+            # base+offset check covers exactly the padded region.
+            cursor = round_up(cursor, padded)
+        va = cursor
+        self._cursors[region] = va + padded
+        flags = PageFlags(writable=not read_only, accessible=True, svm=svm)
+        self.space.map_range(va, padded, flags)
+        buffer = Buffer(va=va, size=size, padded_size=padded, region=region,
+                        name=name, read_only=read_only, svm=svm)
+        self.allocations.append(buffer)
+        return buffer
+
+    def malloc_internal(self, size: int, name: str = "") -> Buffer:
+        """Driver-internal allocation on pages normal accesses cannot touch
+        (the RBT pages of §5.4)."""
+        padded = round_up(size, self.alignment)
+        cursor = round_up(self._cursors["internal"], self.alignment)
+        va = cursor
+        self._cursors["internal"] = va + padded
+        self.space.map_range(va, padded,
+                             PageFlags(writable=False, accessible=False))
+        buffer = Buffer(va=va, size=size, padded_size=padded,
+                        region="internal", name=name)
+        self.allocations.append(buffer)
+        return buffer
+
+    def free(self, buffer: Buffer) -> None:
+        """Release an allocation.
+
+        Pages are left mapped if other live buffers share them — exactly
+        the coarse page-granularity behaviour that native protection has.
+        """
+        if buffer.freed:
+            raise AllocationError(f"double free of {buffer.name or buffer.va:#x}")
+        buffer.freed = True
+        page = self.space.page_size
+        first = buffer.va // page
+        last = (buffer.va + buffer.padded_size - 1) // page
+        for pg in range(first, last + 1):
+            lo, hi = pg * page, (pg + 1) * page
+            shared = any(
+                not b.freed and b.va < hi and lo < b.va + b.padded_size
+                for b in self.allocations if b is not buffer)
+            if not shared and hi <= self._cursors.get(buffer.region, 0):
+                self.space.unmap_range(lo, page - 1)
+
+    def live_buffers(self) -> List[Buffer]:
+        return [b for b in self.allocations if not b.freed]
+
+    # -- host-side data movement (cudaMemcpy equivalents) ----------------------
+
+    def write_buffer(self, buffer: Buffer, offset: int, data: bytes) -> None:
+        """Host -> device copy (bounds-checked on the host side)."""
+        if offset < 0 or offset + len(data) > buffer.padded_size:
+            raise AllocationError("host copy escapes allocation")
+        self.memory.write(buffer.va + offset, data)
+
+    def read_buffer(self, buffer: Buffer, offset: int, size: int) -> bytes:
+        """Device -> host copy."""
+        if offset < 0 or offset + size > buffer.padded_size:
+            raise AllocationError("host copy escapes allocation")
+        return self.memory.read(buffer.va + offset, size)

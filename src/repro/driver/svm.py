@@ -1,0 +1,53 @@
+"""Shared Virtual Memory helpers (paper §2.1, §3.1).
+
+SVM buffers live in the same physical store the GPU writes, so host code
+observes device writes directly — including out-of-bounds corruption
+(Figure 4).  :class:`SvmMailbox` is the host-GPU signalling channel of
+§5.5.2: the BCU appends violation records and the host polls them while
+the kernel is still running.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.violations import ViolationRecord
+from repro.driver.allocator import Buffer, DeviceAllocator
+
+
+class SvmMailbox:
+    """A ring of violation records in an SVM buffer shared with the host."""
+
+    def __init__(self, allocator: DeviceAllocator, capacity: int = 64):
+        self.record_size = ViolationRecord.wire_size()
+        self.capacity = capacity
+        # Header: 8-byte write counter, then the record slots.
+        self.buffer: Buffer = allocator.malloc(
+            8 + capacity * self.record_size, name="__svm_mailbox", svm=True)
+        self._allocator = allocator
+
+    def _count(self) -> int:
+        blob = self._allocator.read_buffer(self.buffer, 0, 8)
+        return int.from_bytes(blob, "little")
+
+    def device_append(self, payload: bytes) -> None:
+        """Called by the BCU under the SIGNAL_HOST policy."""
+        count = self._count()
+        slot = count % self.capacity
+        self._allocator.write_buffer(
+            self.buffer, 8 + slot * self.record_size, payload)
+        self._allocator.write_buffer(
+            self.buffer, 0, (count + 1).to_bytes(8, "little"))
+
+    def host_poll(self) -> List[ViolationRecord]:
+        """Host-side read of all records currently in the mailbox."""
+        count = self._count()
+        available = min(count, self.capacity)
+        records = []
+        start = count - available
+        for i in range(start, count):
+            slot = i % self.capacity
+            blob = self._allocator.read_buffer(
+                self.buffer, 8 + slot * self.record_size, self.record_size)
+            records.append(ViolationRecord.unpack(blob))
+        return records

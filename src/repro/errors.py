@@ -1,0 +1,80 @@
+"""Exception taxonomy for the GPUShield reproduction.
+
+The hierarchy mirrors the places where the paper's system can fail:
+
+* :class:`ReproError` — root of everything raised by this package.
+* :class:`DeviceError` — faults raised by the simulated GPU/driver substrate
+  (illegal addresses, allocation failures, launch misconfiguration).
+* :class:`BoundsViolation` — a GPUShield bounds-checking failure.  Only raised
+  when the precise-exception reporting policy is selected; otherwise
+  violations are logged (see :mod:`repro.core.violations`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DeviceError(ReproError):
+    """Base class for errors raised by the simulated device/driver."""
+
+
+class IllegalAddressError(DeviceError):
+    """An access touched an unmapped or inaccessible page.
+
+    This models the ``CUDA illegal memory access`` abort observed in the
+    paper's Figure 4, case 3 (a write crossing a 2MB page boundary).
+    """
+
+    def __init__(self, address: int, message: str = ""):
+        self.address = address
+        super().__init__(message or f"illegal memory access at {address:#x}")
+
+
+class AllocationError(DeviceError):
+    """The device allocator could not satisfy a request."""
+
+
+class LaunchError(DeviceError):
+    """A kernel launch was misconfigured (bad geometry, missing args...)."""
+
+
+class KernelAborted(DeviceError):
+    """A kernel was terminated mid-flight by a device fault."""
+
+    def __init__(self, cause: Exception):
+        self.cause = cause
+        super().__init__(f"kernel aborted: {cause}")
+
+
+class BoundsViolation(ReproError):
+    """A GPUShield bounds check failed and the policy is to raise.
+
+    Carries enough context to reconstruct the paper's error report: the
+    offending kernel, buffer ID, the checked (min, max) address range and
+    the access kind.
+    """
+
+    def __init__(self, *, kernel_id: int, buffer_id: int, lo: int, hi: int,
+                 is_store: bool, reason: str):
+        self.kernel_id = kernel_id
+        self.buffer_id = buffer_id
+        self.lo = lo
+        self.hi = hi
+        self.is_store = is_store
+        self.reason = reason
+        kind = "store" if is_store else "load"
+        super().__init__(
+            f"bounds violation ({reason}) on {kind} "
+            f"[{lo:#x}, {hi:#x}] buffer_id={buffer_id} kernel={kernel_id}"
+        )
+
+
+class CompileError(ReproError):
+    """The mini-compiler rejected a kernel program."""
+
+
+class IsaError(ReproError):
+    """An ISA-level problem: malformed instruction, bad register, etc."""

@@ -1,0 +1,21 @@
+"""GPU simulator substrate: memory, caches, TLBs, DRAM, cores, scheduler.
+
+This package replaces the paper's MacSim setup with a warp-level,
+cycle-approximate model sufficient to reproduce the evaluation's relative
+timing (see DESIGN.md §2 for the substitution argument).
+"""
+
+from repro.gpu.config import GPUConfig, intel_config, nvidia_config
+from repro.gpu.memory import AddressSpace, PageFlags, PhysicalMemory
+from repro.gpu.gpu import GPU, LaunchResult
+
+__all__ = [
+    "GPUConfig",
+    "intel_config",
+    "nvidia_config",
+    "AddressSpace",
+    "PageFlags",
+    "PhysicalMemory",
+    "GPU",
+    "LaunchResult",
+]

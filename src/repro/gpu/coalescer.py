@@ -1,0 +1,64 @@
+"""The address-coalescing unit (ACU) and address gathering (paper §5.5.1).
+
+For one warp memory instruction the ACU merges the active lanes' byte
+addresses into the minimal set of aligned ``line_size`` transactions — the
+same structure real GPUs use to save bandwidth.  The BCU's address-gather
+stage additionally needs the (min, max) byte range covered by the warp,
+which is what region-based checking compares against the bounds (one check
+per warp instead of one per thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CoalescedAccess:
+    """The ACU's output for one warp memory instruction."""
+
+    transactions: Tuple[int, ...]   # aligned transaction base addresses
+    min_addr: int                   # lowest byte touched
+    max_addr: int                   # highest byte touched (inclusive)
+    active_lanes: int
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.transactions)
+
+
+def coalesce(lane_addrs: Sequence[Optional[int]], access_size: int,
+             line_size: int = 128) -> Optional[CoalescedAccess]:
+    """Merge per-lane addresses into aligned transactions.
+
+    ``lane_addrs`` holds one byte address per lane, ``None`` for lanes
+    masked off by predication/divergence.  Returns ``None`` when no lane
+    is active (the instruction is a no-op for this warp).
+    """
+    lo = None
+    hi = None
+    segments = set()
+    active = 0
+    for addr in lane_addrs:
+        if addr is None:
+            continue
+        active += 1
+        last = addr + access_size - 1
+        if lo is None or addr < lo:
+            lo = addr
+        if hi is None or last > hi:
+            hi = last
+        first_seg = addr // line_size
+        last_seg = last // line_size
+        segments.add(first_seg)
+        if last_seg != first_seg:
+            segments.add(last_seg)
+    if active == 0:
+        return None
+    return CoalescedAccess(
+        transactions=tuple(seg * line_size for seg in sorted(segments)),
+        min_addr=lo,
+        max_addr=hi,
+        active_lanes=active,
+    )

@@ -1,0 +1,107 @@
+"""Simulated GPU configurations (paper Table 5).
+
+Two presets:
+
+* :func:`nvidia_config` — 16 SMs @ 1.6 GHz, 1024 threads/SM, 16KB L1,
+  Method-B addressing (full virtual address), 2MB device pages;
+* :func:`intel_config` — 24 cores @ 1 GHz, 7 HW threads/core, 32KB L1,
+  Method-C addressing (base + offset via send messages), which makes
+  buffers eligible for Type-3 offset-optimised pointers (§5.3.3).
+
+Both share the memory-side parameters of Table 5 (2MB 16-way L2,
+1024-entry L2 TLB, 16-channel FRFCFS memory with 2KB row buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """All architectural knobs of the simulated GPU."""
+
+    name: str
+    vendor: str                      # 'nvidia' | 'intel'
+    num_cores: int
+    clock_ghz: float
+    warp_size: int
+    max_warps_per_core: int
+    addressing: str                  # 'method_b' | 'method_c'
+
+    # L1 data cache (per core)
+    l1d_bytes: int = 16 * 1024
+    l1d_assoc: int = 4
+    line_size: int = 128
+
+    # Read-only caches (per core): constant and texture paths
+    const_cache_bytes: int = 8 * 1024
+    tex_cache_bytes: int = 12 * 1024
+
+    # TLBs
+    l1tlb_entries: int = 64
+    l2tlb_entries: int = 1024
+    l2tlb_assoc: int = 32
+    page_size: int = 2 << 20
+
+    # Shared L2 cache
+    l2_bytes: int = 2 * 1024 * 1024
+    l2_assoc: int = 16
+
+    # DRAM
+    dram_channels: int = 16
+    dram_row_bytes: int = 2048
+
+    # Latencies (core cycles)
+    lsu_pipeline_depth: int = 4
+    l2_latency: int = 90
+    dram_row_hit_latency: int = 160
+    dram_row_miss_latency: int = 260
+    dram_service_interval: int = 4   # channel occupancy per transaction
+    tlb_l2_latency: int = 20
+    page_walk_latency: int = 200
+    alu_latency: int = 1
+    sfu_latency: int = 4             # div/sqrt/transcendental
+
+    # Device-memory layout
+    alignment: int = 512             # default buffer alignment (§3.1)
+
+    @property
+    def threads_per_core(self) -> int:
+        return self.warp_size * self.max_warps_per_core
+
+    def scaled(self, **overrides) -> "GPUConfig":
+        """A copy with some fields overridden (used by the bench harness)."""
+        return replace(self, **overrides)
+
+
+def nvidia_config(**overrides) -> GPUConfig:
+    """Table 5's Nvidia-GPU configuration."""
+    cfg = GPUConfig(
+        name="nvidia-16sm",
+        vendor="nvidia",
+        num_cores=16,
+        clock_ghz=1.6,
+        warp_size=32,
+        max_warps_per_core=32,       # 1024 threads per SM
+        addressing="method_b",
+        l1d_bytes=16 * 1024,
+        page_size=2 << 20,
+    )
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def intel_config(**overrides) -> GPUConfig:
+    """Table 5's Intel-GPU configuration (integrated GPU model)."""
+    cfg = GPUConfig(
+        name="intel-24core",
+        vendor="intel",
+        num_cores=24,
+        clock_ghz=1.0,
+        warp_size=8,                 # SIMD8 sub-workgroups
+        max_warps_per_core=7,        # 7 HW threads per core
+        addressing="method_c",
+        l1d_bytes=32 * 1024,
+        page_size=64 * 1024,
+    )
+    return cfg.scaled(**overrides) if overrides else cfg

@@ -1,0 +1,215 @@
+"""The whole-GPU model: cores, shared memory-side structures, dispatch.
+
+Supports the three execution modes of the evaluation:
+
+* ``single`` — one kernel over all cores (Figures 14-17);
+* ``inter_core`` — two kernels, each on half the cores (§6.2 mode 1);
+* ``intra_core`` — two kernels interleaved on every core (§6.2 mode 2),
+  where the RCache kernel-ID tags prevent cross-kernel confusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+from repro.core.shield import GPUShield
+from repro.errors import BoundsViolation, KernelAborted, LaunchError
+from repro.gpu.cache import Cache
+from repro.gpu.core import CoreJob, ShaderCore
+from repro.gpu.dram import Dram
+from repro.gpu.executor import Executor
+from repro.gpu.tlb import Tlb
+
+if TYPE_CHECKING:  # avoid a circular import; the driver imports gpu.memory
+    from repro.driver.driver import GpuDriver, LaunchContext
+
+
+@dataclass
+class LaunchResult:
+    """Aggregate outcome of one GPU.run() invocation."""
+
+    cycles: int
+    instructions: int
+    mem_instructions: int
+    transactions: int
+    aborted: bool = False
+    error: str = ""
+    per_core_cycles: List[int] = field(default_factory=list)
+    l1d_hit_rate: float = 1.0
+    l1_rcache_hit_rate: float = 1.0
+    l2_rcache_hit_rate: float = 1.0
+    check_reduction_percent: float = 0.0
+    bcu_stall_cycles: int = 0
+    rbt_fills: int = 0
+    violations: int = 0
+    divergent_branches: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.aborted
+
+
+class GPU:
+    """Simulated GPU bound to one driver (its memory and shield)."""
+
+    def __init__(self, driver: GpuDriver):
+        self.driver = driver
+        self.config = driver.config
+        self.shield: GPUShield = driver.shield
+        config = self.config
+        self.l2cache = Cache(config.l2_bytes, config.l2_assoc,
+                             config.line_size, name="l2")
+        self.l2tlb = Tlb(config.l2tlb_entries, config.l2tlb_assoc, name="l2tlb")
+        self.dram = Dram(channels=config.dram_channels,
+                         row_bytes=config.dram_row_bytes,
+                         line_size=config.line_size,
+                         row_hit_latency=config.dram_row_hit_latency,
+                         row_miss_latency=config.dram_row_miss_latency,
+                         service_interval=config.dram_service_interval)
+        self.cores = [
+            ShaderCore(i, config, driver.memory, driver.space,
+                       self.l2cache, self.l2tlb, self.dram,
+                       bcu=self.shield.make_bcu() if self.shield.enabled
+                       else None)
+            for i in range(config.num_cores)
+        ]
+
+    def attach_tracer(self, tracer) -> None:
+        """Record every warp memory access into an
+        :class:`~repro.analysis.trace.MemoryTracer`."""
+        for core in self.cores:
+            core.tracer = tracer
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def run(self, launches: Union[LaunchContext, Sequence[LaunchContext]],
+            mode: str = "single") -> LaunchResult:
+        """Execute prepared launches to completion."""
+        if not isinstance(launches, (list, tuple)):
+            launches = [launches]
+        launches = list(launches)
+        if not launches:
+            raise LaunchError("nothing to run")
+        if mode == "single" and len(launches) != 1:
+            raise LaunchError("mode 'single' takes exactly one launch")
+        if mode in ("inter_core", "intra_core") and len(launches) < 2:
+            raise LaunchError(f"mode {mode!r} needs at least two launches")
+
+        jobs = [self._make_job(launch) for launch in launches]
+        assignments = self._assign(jobs, mode)
+
+        # Core counters are cumulative across runs; snapshot for deltas.
+        before = self._counters()
+        aborted = False
+        error = ""
+        per_core: List[int] = []
+        for core, work in zip(self.cores, assignments):
+            if not work:
+                per_core.append(0)
+                continue
+            try:
+                per_core.append(core.run(work))
+            except KernelAborted as err:
+                aborted = True
+                error = str(err)
+                per_core.append(core.stats.cycles)
+                break
+            except BoundsViolation as err:
+                # PRECISE reporting policy: the fault aborts the kernel
+                # immediately (§5.5.2).
+                aborted = True
+                error = f"precise bounds fault: {err}"
+                per_core.append(core.stats.cycles)
+                break
+
+        result = self._collect(per_core, aborted, error, before)
+        result.divergent_branches = sum(j.executor.divergent_branches
+                                        for j in jobs)
+        # Kernel termination flushes the RCaches (§5.5).
+        for core in self.cores:
+            if core.bcu is not None:
+                core.bcu.flush()
+        return result
+
+    def _make_job(self, launch: LaunchContext) -> CoreJob:
+        executor = Executor(
+            kernel=launch.kernel,
+            workgroups=launch.workgroups,
+            wg_size=launch.wg_size,
+            warp_size=self.config.warp_size,
+            initial_regs=launch.initial_registers(),
+            heap=self.driver.heap,
+            heap_tagger=launch.heap_pointer_tagger,
+            launch_key=launch.kernel_id,
+        )
+        return CoreJob(executor=executor, launch=launch)
+
+    def _assign(self, jobs: List[CoreJob],
+                mode: str) -> List[List[Tuple[CoreJob, int]]]:
+        ncores = len(self.cores)
+        assignments: List[List[Tuple[CoreJob, int]]] = [[] for _ in range(ncores)]
+        if mode == "single":
+            job = jobs[0]
+            for wg in range(job.launch.workgroups):
+                assignments[wg % ncores].append((job, wg))
+        elif mode == "inter_core":
+            half = max(1, ncores // len(jobs))
+            for j, job in enumerate(jobs):
+                lo = j * half
+                hi = ncores if j == len(jobs) - 1 else (j + 1) * half
+                span = max(1, hi - lo)
+                for wg in range(job.launch.workgroups):
+                    assignments[lo + wg % span].append((job, wg))
+        elif mode == "intra_core":
+            interleaved: List[Tuple[CoreJob, int]] = []
+            counters = [0] * len(jobs)
+            remaining = sum(j.launch.workgroups for j in jobs)
+            j = 0
+            while remaining:
+                job = jobs[j % len(jobs)]
+                idx = counters[j % len(jobs)]
+                if idx < job.launch.workgroups:
+                    interleaved.append((job, idx))
+                    counters[j % len(jobs)] += 1
+                    remaining -= 1
+                j += 1
+            for i, item in enumerate(interleaved):
+                assignments[i % ncores].append(item)
+        else:
+            raise LaunchError(f"unknown mode {mode!r}")
+        return assignments
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def _counters(self) -> Tuple[int, int, int, int]:
+        return (sum(c.stats.instructions for c in self.cores),
+                sum(c.stats.mem_instructions for c in self.cores),
+                sum(c.stats.transactions for c in self.cores),
+                sum(c.stats.bcu_stall_cycles for c in self.cores))
+
+    def _collect(self, per_core: List[int], aborted: bool, error: str,
+                 before: Tuple[int, int, int, int]) -> LaunchResult:
+        after = self._counters()
+        instructions, mem, txs, stalls = (a - b for a, b in
+                                          zip(after, before))
+        d_hits = sum(c.l1d.stats.hits for c in self.cores)
+        d_acc = sum(c.l1d.stats.accesses for c in self.cores)
+        return LaunchResult(
+            cycles=max(per_core) if per_core else 0,
+            instructions=instructions,
+            mem_instructions=mem,
+            transactions=txs,
+            aborted=aborted,
+            error=error,
+            per_core_cycles=per_core,
+            l1d_hit_rate=(d_hits / d_acc) if d_acc else 1.0,
+            l1_rcache_hit_rate=self.shield.l1_hit_rate(),
+            l2_rcache_hit_rate=self.shield.l2_hit_rate(),
+            check_reduction_percent=self.shield.reduction_percent(),
+            bcu_stall_cycles=stalls,
+            rbt_fills=self.shield.total_rbt_fills(),
+            violations=len(self.shield.log),
+        )

@@ -1,0 +1,32 @@
+"""A small register ISA for GPU kernels plus a builder DSL.
+
+Kernels for the simulator are written against :class:`KernelBuilder`,
+which emits :class:`~repro.isa.instructions.Instr` lists and — crucially
+for the paper's compiler analysis — records the *symbolic expression* of
+every address offset, mirroring the operand trees an LLVM pass would
+recover from GEP chains (paper Figure 8).
+"""
+
+from repro.isa.instructions import (
+    DTYPE_SIZE,
+    Imm,
+    Instr,
+    Reg,
+    Special,
+)
+from repro.isa.program import Kernel, KernelParam, LocalVar
+from repro.isa.builder import KernelBuilder
+from repro.isa import exprs
+
+__all__ = [
+    "DTYPE_SIZE",
+    "Imm",
+    "Instr",
+    "Reg",
+    "Special",
+    "Kernel",
+    "KernelParam",
+    "LocalVar",
+    "KernelBuilder",
+    "exprs",
+]

@@ -1,0 +1,89 @@
+"""Symbolic expressions for address offsets.
+
+The :class:`~repro.isa.builder.KernelBuilder` records, for every memory
+instruction, the expression tree that produced its byte offset.  These
+trees are exactly what the paper's LLVM pass reconstructs by walking GEP
+operand chains (Figure 8); our compiler's data-flow analysis evaluates
+them with interval arithmetic to perform static bounds checking.
+
+Nodes:
+
+* :class:`Const` — a literal;
+* :class:`SpecialRef` — a thread identifier (``gtid``, ``tid``...) whose
+  range comes from the launch geometry;
+* :class:`ArgRef` — a scalar kernel argument, whose range comes from
+  host-code analysis (the launch-time value, or a declared maximum);
+* :class:`RangeVal` — a loop induction variable in ``[0, count)``;
+* :class:`Bin` — a binary operation;
+* :class:`Unknown` — anything the analysis cannot see through (values
+  loaded from memory — the indirect accesses that defeat static analysis
+  for the paper's graph benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Expr:
+    """Base class for offset expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def __repr__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SpecialRef(Expr):
+    name: str
+
+    def __repr__(self):
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class ArgRef(Expr):
+    name: str
+
+    def __repr__(self):
+        return f"arg({self.name})"
+
+
+@dataclass(frozen=True)
+class RangeVal(Expr):
+    """A loop induction variable: value in ``[0, count - 1]``."""
+
+    count: Expr
+
+    def __repr__(self):
+        return f"iota({self.count!r})"
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    op: str   # add, sub, mul, div, mod, shl, shr, min, max, and
+    left: Expr
+    right: Expr
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Unknown(Expr):
+    """Value invisible to static analysis (e.g. loaded from memory)."""
+
+    source: str = "unknown"
+
+    def __repr__(self):
+        return f"?{self.source}"
+
+
+Interval = Tuple[int, int]

@@ -1,0 +1,59 @@
+"""High-level convenience facade: driver + GPU in one object.
+
+Most examples, tests and benchmarks follow the same pattern — create a
+driver and a GPU with some shield configuration, allocate buffers, launch
+a kernel, run it and read the results.  :class:`GpuSession` packages that
+pattern:
+
+>>> from repro import GpuSession, nvidia_config
+>>> session = GpuSession(nvidia_config(num_cores=2))
+>>> buf = session.driver.malloc(1024)
+>>> # ... build a kernel, then:
+>>> # result, violations = session.run(kernel, {"a": buf}, workgroups=2,
+>>> #                                   wg_size=64)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.shield import GPUShield, ShieldConfig
+from repro.core.violations import ViolationRecord
+from repro.driver.driver import ArgValue, GpuDriver, LaunchContext
+from repro.gpu.config import GPUConfig, nvidia_config
+from repro.gpu.gpu import GPU, LaunchResult
+from repro.isa.program import Kernel
+
+
+class GpuSession:
+    """A GPU context: one driver, one GPU, one (optional) shield."""
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 shield: Optional[ShieldConfig] = None,
+                 seed: int = 0xC0FFEE):
+        self.config = config or nvidia_config()
+        gpushield = GPUShield(shield) if shield is not None else None
+        self.driver = GpuDriver(self.config, shield=gpushield, seed=seed)
+        self.gpu = GPU(self.driver)
+
+    @property
+    def shield(self) -> GPUShield:
+        return self.driver.shield
+
+    def run(self, kernel: Kernel, args: Dict[str, ArgValue],
+            workgroups: int, wg_size: int
+            ) -> Tuple[LaunchResult, List[ViolationRecord]]:
+        """Launch, execute and finish one kernel; returns (result, report)."""
+        launch = self.driver.launch(kernel, args, workgroups, wg_size)
+        result = self.gpu.run(launch)
+        violations = self.driver.finish(launch)
+        return result, violations
+
+    def run_pair(self, launches: Sequence[LaunchContext], mode: str
+                 ) -> Tuple[LaunchResult, List[ViolationRecord]]:
+        """Run prepared launches concurrently (§6.2 multi-kernel modes)."""
+        result = self.gpu.run(list(launches), mode=mode)
+        violations: List[ViolationRecord] = []
+        for launch in launches:
+            violations.extend(self.driver.finish(launch))
+        return result, violations

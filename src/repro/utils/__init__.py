@@ -1,0 +1,17 @@
+"""Small shared utilities (bit manipulation, deterministic RNG helpers)."""
+
+from repro.utils.bitops import (
+    bit_slice,
+    mask,
+    set_bit_slice,
+    sign_extend,
+    to_unsigned64,
+)
+
+__all__ = [
+    "bit_slice",
+    "mask",
+    "set_bit_slice",
+    "sign_extend",
+    "to_unsigned64",
+]

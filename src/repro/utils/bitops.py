@@ -1,0 +1,64 @@
+"""Bit-field helpers used by pointer tagging, the ISA and the RBT encoding.
+
+All helpers operate on non-negative Python integers treated as fixed-width
+bit vectors.  Pointers in this codebase are 64-bit unsigned values.
+"""
+
+from __future__ import annotations
+
+U64_MASK = (1 << 64) - 1
+
+
+def mask(width: int) -> int:
+    """Return a bitmask of ``width`` ones: ``mask(3) == 0b111``."""
+    if width < 0:
+        raise ValueError(f"mask width must be >= 0, got {width}")
+    return (1 << width) - 1
+
+
+def bit_slice(value: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``lo``.
+
+    >>> bit_slice(0b10110, 1, 3)
+    3
+    """
+    return (value >> lo) & mask(width)
+
+
+def set_bit_slice(value: int, lo: int, width: int, field: int) -> int:
+    """Return ``value`` with bits ``[lo, lo+width)`` replaced by ``field``."""
+    if field < 0 or field > mask(width):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << lo)
+    return cleared | (field << lo)
+
+
+def to_unsigned64(value: int) -> int:
+    """Wrap an arbitrary Python int into the unsigned 64-bit domain."""
+    return value & U64_MASK
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    sign = 1 << (width - 1)
+    return (value ^ sign) - sign
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ...; False for 0 and non-powers."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def round_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return 1 << (value - 1).bit_length()

@@ -1,0 +1,28 @@
+"""Workloads: parametric kernel templates + the benchmark registries.
+
+The paper evaluates 88 CUDA and 17 OpenCL benchmarks.  We reproduce the
+*axes that drive the results* — buffer count, affine vs indirect
+addressing, memory intensity, kernel-launch counts, shared-memory use —
+with parametric templates (:mod:`repro.workloads.templates`) instantiated
+under the paper's benchmark names (:mod:`repro.workloads.suite`).
+"""
+
+from repro.workloads.templates import BufferSpec, KernelRun, Workload
+from repro.workloads.suite import (
+    CUDA_BENCHMARKS,
+    OPENCL_BENCHMARKS,
+    RCACHE_SENSITIVE,
+    RODINIA_FIG19,
+    get_benchmark,
+)
+
+__all__ = [
+    "BufferSpec",
+    "KernelRun",
+    "Workload",
+    "CUDA_BENCHMARKS",
+    "OPENCL_BENCHMARKS",
+    "RCACHE_SENSITIVE",
+    "RODINIA_FIG19",
+    "get_benchmark",
+]

@@ -1,0 +1,62 @@
+"""Shared fixtures: small GPU configs, simple kernels, sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
+from repro.gpu.config import intel_config
+
+
+@pytest.fixture
+def tiny_config():
+    """A 2-core Nvidia config for fast end-to-end tests."""
+    return nvidia_config(num_cores=2)
+
+
+@pytest.fixture
+def tiny_intel_config():
+    return intel_config(num_cores=2)
+
+
+@pytest.fixture
+def session(tiny_config):
+    """Session without GPUShield (native behaviour)."""
+    return GpuSession(tiny_config)
+
+
+@pytest.fixture
+def shielded(tiny_config):
+    """Session with GPUShield enabled (default BCU, LOG policy)."""
+    return GpuSession(tiny_config, shield=ShieldConfig(enabled=True))
+
+
+def build_vecadd():
+    """c[i] = a[i] + b[i] with an n-guard (the paper's Figure 3 kernel)."""
+    b = KernelBuilder("vecadd")
+    a = b.arg_ptr("a", read_only=True)
+    bb = b.arg_ptr("b", read_only=True)
+    c = b.arg_ptr("c")
+    n = b.arg_scalar("n")
+    gtid = b.gtid()
+    p = b.setp("lt", gtid, n)
+    with b.if_(p):
+        va = b.ld_idx(a, gtid, dtype="i32")
+        vb = b.ld_idx(bb, gtid, dtype="i32")
+        b.st_idx(c, gtid, b.add(va, vb), dtype="i32")
+    return b.build()
+
+
+def build_oob_store(offset_elems: int, dtype: str = "i32"):
+    """Writes A[offset] from thread 0 only — the Figure 4 probe."""
+    b = KernelBuilder(f"oob_{offset_elems:#x}")
+    a = b.arg_ptr("A")
+    p = b.setp("eq", b.gtid(), 0)
+    with b.if_(p):
+        b.st_idx(a, offset_elems, 0xBAD, dtype=dtype)
+    return b.build()
+
+
+@pytest.fixture
+def vecadd_kernel():
+    return build_vecadd()

@@ -1,0 +1,181 @@
+"""Tests for the baseline protection tools (paper §4.1, §8.5, Figure 19)."""
+
+import pytest
+
+from repro import nvidia_config
+from repro.analysis.harness import WorkloadRunner, run_workload
+from repro.baselines.canary import CanaryRunner
+from repro.baselines.gmod import GmodRunner
+from repro.baselines.memcheck import (
+    SHADOW_PARAM,
+    instrument_kernel,
+    instrument_workload,
+    memcheck_config,
+)
+from repro.baselines.swbounds import kmeans_swap_sw_checks
+from repro.workloads.suite import get_benchmark
+from repro.workloads.templates import streaming
+
+CFG = nvidia_config(num_cores=2)
+
+
+def small_workload():
+    return streaming("wl", n=256, wg_size=64, inputs=2)
+
+
+class TestMemcheckInstrumentation:
+    def test_adds_shadow_param(self):
+        wl = small_workload()
+        kernel = instrument_kernel(wl.runs[0].kernel)
+        assert any(p.name == SHADOW_PARAM for p in kernel.params)
+        assert SHADOW_PARAM in kernel.arg_regs
+
+    def test_inserts_checks_before_each_mem_op(self):
+        wl = small_workload()
+        original = wl.runs[0].kernel
+        kernel = instrument_kernel(original)
+        orig_mem = original.static_mem_instructions()
+        # One extra shadow load per original op.
+        assert kernel.static_mem_instructions() == 2 * orig_mem
+        assert len(kernel.instructions) > len(original.instructions)
+
+    def test_shared_accesses_not_instrumented(self):
+        from repro.isa.builder import KernelBuilder
+        b = KernelBuilder("sh")
+        b.shared_mem(64)
+        b.st_shared(0, 1.0)
+        kernel = instrument_kernel(b.build())
+        assert kernel.static_mem_instructions() == 1
+
+    def test_results_still_correct(self):
+        """Instrumentation must not change functional behaviour."""
+        base = run_workload(small_workload(), CFG, None, "base")
+        inst = run_workload(instrument_workload(small_workload()),
+                            memcheck_config(CFG), None, "memcheck")
+        assert not base.aborted and not inst.aborted
+        assert inst.instructions > 3 * base.instructions
+
+    def test_slowdown_emerges(self):
+        base = run_workload(small_workload(), CFG, None, "base")
+        inst = run_workload(instrument_workload(small_workload()),
+                            memcheck_config(CFG), None, "memcheck")
+        assert inst.cycles > 3 * base.cycles
+
+    def test_config_degrades_caches(self):
+        degraded = memcheck_config(CFG)
+        assert degraded.l1d_bytes < CFG.l1d_bytes
+        assert degraded.max_warps_per_core == 1
+
+
+class TestCanaryRunner:
+    def test_clean_run_no_detections(self):
+        runner = CanaryRunner(small_workload(), CFG)
+        record = runner.run()
+        assert record.extra["canary_detections"] == 0
+
+    def test_overhead_positive(self):
+        base = run_workload(small_workload(), CFG, None, "base")
+        record = CanaryRunner(small_workload(), CFG).run()
+        assert record.cycles > base.cycles
+
+    def test_detects_adjacent_overflow(self):
+        runner = CanaryRunner(small_workload(), CFG)
+        # Simulate a device-side overflow into the canary region.
+        runner.runner.session.driver.memory.write(
+            runner.runner.data_end("in0"), b"\x00\x01\x02")
+        record = runner.run()
+        assert record.extra["canary_detections"] >= 1
+
+    def test_misses_canary_jumping_write(self):
+        """The paper's criticism: far OOB skips the canary (§4.1)."""
+        runner = CanaryRunner(small_workload(), CFG)
+        buf = runner.runner.buffers["in0"]
+        far = buf.va + buf.padded_size + 4096
+        runner.runner.session.driver.memory.write(far, b"\xba\xad")
+        record = runner.run()
+        assert record.extra["canary_detections"] == 0
+
+    def test_misses_oob_reads(self):
+        """Canaries cannot see reads at all."""
+        runner = CanaryRunner(small_workload(), CFG)
+        buf = runner.runner.buffers["in0"]
+        runner.runner.session.driver.memory.read(buf.va + buf.size, 64)
+        record = runner.run()
+        assert record.extra["canary_detections"] == 0
+
+
+class TestGmodRunner:
+    def test_clean_run(self):
+        record = GmodRunner(small_workload(), CFG).run()
+        assert record.extra["guard_detections"] == 0
+
+    def test_detects_corruption(self):
+        runner = GmodRunner(small_workload(), CFG)
+        runner.runner.session.driver.memory.write(
+            runner.runner.data_end("out"), b"\x00")
+        record = runner.run()
+        assert record.extra["guard_detections"] >= 1
+
+    def test_many_launches_explode(self):
+        """The streamcluster effect: per-launch ctor/dtor dominates."""
+        sc = get_benchmark("streamcluster").build()
+        base = run_workload(sc, CFG, None, "base")
+        gmod = GmodRunner(get_benchmark("streamcluster").build(), CFG).run()
+        single = get_benchmark("lud").build()
+        base_single = run_workload(single, CFG, None, "base")
+        gmod_single = GmodRunner(get_benchmark("lud").build(), CFG).run()
+        ratio_sc = gmod.cycles / base.cycles
+        ratio_single = gmod_single.cycles / base_single.cycles
+        assert ratio_sc > 4 * ratio_single
+
+
+class TestOrdering:
+    def test_figure19_ordering_on_streamcluster(self):
+        """memcheck >> clArmor, GMOD >> GPUShield ~= 1."""
+        from repro import ShieldConfig
+        bench = get_benchmark("streamcluster")
+        base = run_workload(bench.build(), CFG, None, "base")
+        shield = run_workload(bench.build(), CFG,
+                              ShieldConfig(enabled=True), "shield")
+        mc = run_workload(instrument_workload(bench.build()),
+                          memcheck_config(CFG), None, "memcheck")
+        ca = CanaryRunner(bench.build(), CFG).run()
+        gm = GmodRunner(bench.build(), CFG).run()
+        r_shield = shield.cycles / base.cycles
+        r_ca = ca.cycles / base.cycles
+        r_gm = gm.cycles / base.cycles
+        r_mc = mc.cycles / base.cycles
+        assert r_shield < 1.10
+        assert r_shield < r_ca < r_mc
+        assert r_shield < r_gm < r_mc
+
+
+class TestSoftwareBoundsChecks:
+    def test_variants_build(self):
+        for variant in ("unchecked", "guarded", "checked"):
+            wl = kmeans_swap_sw_checks(variant, npoints=256, nfeatures=2)
+            assert wl.runs
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            kmeans_swap_sw_checks("fancy")
+
+    def test_checks_cost_instructions(self):
+        base = run_workload(
+            kmeans_swap_sw_checks("unchecked", npoints=512, nfeatures=4),
+            CFG, None, "raw")
+        checked = run_workload(
+            kmeans_swap_sw_checks("checked", npoints=512, nfeatures=4),
+            CFG, None, "checked")
+        assert checked.instructions > base.instructions
+        assert checked.cycles > base.cycles
+
+    def test_divergence_costs_more(self):
+        guarded = run_workload(
+            kmeans_swap_sw_checks("guarded", npoints=512, nfeatures=4),
+            CFG, None, "guarded")
+        divergent = run_workload(
+            kmeans_swap_sw_checks("guarded", npoints=512, nfeatures=4,
+                                  oversubscribe=1.5),
+            CFG, None, "divergent")
+        assert divergent.cycles >= guarded.cycles

@@ -1,0 +1,263 @@
+"""Tests for the Bounds-Checking Unit (paper §5.5, Figure 12)."""
+
+import pytest
+
+from repro.core.bcu import (
+    BCUConfig,
+    BoundsCheckingUnit,
+    KernelSecurityContext,
+)
+from repro.core.bounds import Bounds
+from repro.core.crypto import IdCipher
+from repro.core.pointer import (
+    make_base_pointer,
+    make_offset_pointer,
+    make_unprotected_pointer,
+)
+from repro.core.violations import ReportPolicy, ViolationLog
+from repro.errors import BoundsViolation
+
+BASE = 0x2000_0000_0000
+SIZE = 1024
+
+
+def make_ctx(rbt=None, kernel_id=1, key=0xFEED):
+    cipher = IdCipher(key)
+    table = rbt or {7: Bounds(base_addr=BASE, size=SIZE)}
+
+    def read_entry(buffer_id):
+        return table.get(buffer_id,
+                         Bounds(base_addr=0, size=0, valid=False))
+
+    return KernelSecurityContext(kernel_id=kernel_id, cipher=cipher,
+                                 rbt_read_entry=read_entry), cipher
+
+
+def tagged(cipher, buffer_id=7, va=BASE):
+    return make_base_pointer(va, cipher.encrypt(buffer_id))
+
+
+class TestType1:
+    def test_unprotected_skips_checking(self):
+        bcu = BoundsCheckingUnit()
+        ctx, _ = make_ctx()
+        out = bcu.check(ctx, make_unprotected_pointer(BASE),
+                        BASE, BASE + 10_000_000, is_store=True)
+        assert out.allowed
+        assert out.stall_cycles == 0
+        assert bcu.stats.checks_skipped_static == 1
+        assert bcu.stats.runtime_checks == 0
+
+
+class TestType2Functional:
+    def test_in_bounds_allowed(self):
+        bcu = BoundsCheckingUnit()
+        ctx, cipher = make_ctx()
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + SIZE - 1,
+                        is_store=False)
+        assert out.allowed
+        assert bcu.stats.violations == 0
+
+    def test_oob_high_detected(self):
+        bcu = BoundsCheckingUnit()
+        ctx, cipher = make_ctx()
+        out = bcu.check(ctx, tagged(cipher), BASE + SIZE, BASE + SIZE + 3,
+                        is_store=True)
+        assert not out.allowed
+        assert out.violation.reason == "out-of-bounds"
+
+    def test_oob_low_detected(self):
+        bcu = BoundsCheckingUnit()
+        ctx, cipher = make_ctx()
+        out = bcu.check(ctx, tagged(cipher), BASE - 4, BASE, is_store=False)
+        assert not out.allowed
+
+    def test_straddling_end_detected(self):
+        """Non-adjacent overflow that canaries would miss (paper §4.1)."""
+        bcu = BoundsCheckingUnit()
+        ctx, cipher = make_ctx()
+        far = BASE + SIZE + 4096   # jumps far beyond any canary region
+        out = bcu.check(ctx, tagged(cipher), far, far + 3, is_store=True)
+        assert not out.allowed
+
+    def test_readonly_store_detected(self):
+        table = {7: Bounds(base_addr=BASE, size=SIZE, read_only=True)}
+        ctx, cipher = make_ctx(rbt=table)
+        bcu = BoundsCheckingUnit()
+        assert bcu.check(ctx, tagged(cipher), BASE, BASE + 3,
+                         is_store=False).allowed
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=True)
+        assert not out.allowed
+        assert out.violation.reason == "read-only"
+
+    def test_forged_id_rejected(self):
+        """Pointer forging decodes to an invalid RBT entry (paper §6.1)."""
+        ctx, cipher = make_ctx()
+        bcu = BoundsCheckingUnit()
+        forged = make_base_pointer(BASE, cipher.encrypt(7) ^ 0x3)
+        out = bcu.check(ctx, forged, BASE, BASE + 3, is_store=True)
+        assert not out.allowed
+        assert out.violation.reason == "invalid-id"
+
+    def test_wrong_key_rejected(self):
+        """A pointer from a previous launch fails under the new key."""
+        ctx_old, cipher_old = make_ctx(key=111)
+        ctx_new, _ = make_ctx(key=222)
+        bcu = BoundsCheckingUnit()
+        stale = tagged(cipher_old)
+        out = bcu.check(ctx_new, stale, BASE, BASE + 3, is_store=False)
+        assert not out.allowed
+
+
+class TestType3:
+    def test_within_padded_size_allowed(self):
+        bcu = BoundsCheckingUnit()
+        ctx, _ = make_ctx()
+        ptr = make_offset_pointer(BASE, 10)   # 1KB region
+        out = bcu.check(ctx, ptr, BASE, BASE + 1023, is_store=True)
+        assert out.allowed
+        assert bcu.stats.checks_type3 == 1
+
+    def test_beyond_padded_size_detected(self):
+        bcu = BoundsCheckingUnit()
+        ctx, _ = make_ctx()
+        ptr = make_offset_pointer(BASE, 10)
+        out = bcu.check(ctx, ptr, BASE + 1024, BASE + 1027, is_store=True)
+        assert not out.allowed
+        assert out.violation.reason == "type3-offset"
+
+    def test_negative_offset_detected(self):
+        bcu = BoundsCheckingUnit()
+        ctx, _ = make_ctx()
+        ptr = make_offset_pointer(BASE, 10)
+        out = bcu.check(ctx, ptr, BASE - 1, BASE + 2, is_store=False)
+        assert not out.allowed
+
+    def test_no_rcache_access(self):
+        """Type 3 checks bypass the RCache hierarchy entirely (§5.3.3)."""
+        bcu = BoundsCheckingUnit()
+        ctx, _ = make_ctx()
+        ptr = make_offset_pointer(BASE, 10)
+        bcu.check(ctx, ptr, BASE, BASE + 3, is_store=False)
+        assert bcu.l1.stats.accesses == 0
+        assert bcu.l2.stats.accesses == 0
+
+    def test_disabled_type3_falls_back_to_type2(self):
+        bcu = BoundsCheckingUnit(BCUConfig(type3_enabled=False))
+        ctx, _ = make_ctx()
+        ptr = make_offset_pointer(BASE, 10)
+        bcu.check(ctx, ptr, BASE, BASE + 3, is_store=False)
+        assert bcu.stats.checks_type2 == 1
+
+
+class TestTiming:
+    """Figure 12's stall rules."""
+
+    def _ctx_bcu(self, **cfg):
+        ctx, cipher = make_ctx()
+        bcu = BoundsCheckingUnit(BCUConfig(**cfg))
+        return ctx, cipher, bcu
+
+    def _warm(self, bcu, ctx, cipher):
+        bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+
+    def test_l1_hit_no_stall(self):
+        ctx, cipher, bcu = self._ctx_bcu()
+        self._warm(bcu, ctx, cipher)
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        assert out.stall_cycles == 0
+        assert out.check_latency == 1
+
+    def test_l2_hit_single_tx_dcache_hit_one_stall(self):
+        """The paper's only bubble: 1 tx, Dcache hit, L1 RCache miss."""
+        ctx, cipher, bcu = self._ctx_bcu()
+        self._warm(bcu, ctx, cipher)
+        bcu.l1.flush()   # force L1 RCache miss, keep L2 warm
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3,
+                        is_store=False, num_transactions=1, dcache_hit=True)
+        assert out.stall_cycles == 1
+
+    def test_l2_hit_hidden_behind_dcache_miss(self):
+        ctx, cipher, bcu = self._ctx_bcu()
+        self._warm(bcu, ctx, cipher)
+        bcu.l1.flush()
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3,
+                        is_store=False, dcache_hit=False)
+        assert out.stall_cycles == 0
+
+    def test_l2_hit_hidden_behind_multiple_transactions(self):
+        ctx, cipher, bcu = self._ctx_bcu()
+        self._warm(bcu, ctx, cipher)
+        bcu.l1.flush()
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 511,
+                        is_store=False, num_transactions=4)
+        assert out.stall_cycles == 0
+
+    def test_l1_latency_two_still_hidden(self):
+        """'no degradation if the L1 latency is less than three' (§8.1)."""
+        ctx, cipher, bcu = self._ctx_bcu(l1_latency=2)
+        self._warm(bcu, ctx, cipher)
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        assert out.stall_cycles == 0
+
+    def test_l1_latency_three_stalls(self):
+        ctx, cipher, bcu = self._ctx_bcu(l1_latency=3)
+        self._warm(bcu, ctx, cipher)
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        assert out.stall_cycles == 1
+
+    def test_rbt_fill_reports_latency_not_stall(self):
+        ctx, cipher, bcu = self._ctx_bcu()
+        out = bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        assert out.rbt_fill
+        assert out.check_latency >= bcu.config.rbt_fetch_latency
+        assert out.stall_cycles <= 1
+        assert bcu.stats.rbt_fills == 1
+
+    def test_fill_populates_both_levels(self):
+        ctx, cipher, bcu = self._ctx_bcu()
+        bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        assert len(bcu.l1) == 1
+        assert len(bcu.l2) == 1
+
+
+class TestPerLaneAblation:
+    def test_per_lane_costs_more(self):
+        ctx, cipher = make_ctx()
+        warp_bcu = BoundsCheckingUnit(BCUConfig(check_per_lane=False))
+        lane_bcu = BoundsCheckingUnit(BCUConfig(check_per_lane=True))
+        out_w = warp_bcu.check(ctx, tagged(cipher), BASE, BASE + 127,
+                               is_store=False, num_lanes=32)
+        out_l = lane_bcu.check(ctx, tagged(cipher), BASE, BASE + 127,
+                               is_store=False, num_lanes=32)
+        assert out_l.stall_cycles > out_w.stall_cycles
+        assert lane_bcu.stats.lane_comparisons == 32
+        assert warp_bcu.stats.lane_comparisons == 1
+
+
+class TestPolicyIntegration:
+    def test_precise_policy_raises_through_check(self):
+        ctx, cipher = make_ctx()
+        log = ViolationLog(policy=ReportPolicy.PRECISE)
+        bcu = BoundsCheckingUnit(log=log)
+        with pytest.raises(BoundsViolation):
+            bcu.check(ctx, tagged(cipher), BASE + SIZE, BASE + SIZE + 3,
+                      is_store=True)
+
+
+class TestStats:
+    def test_reduction_percent(self):
+        bcu = BoundsCheckingUnit()
+        ctx, cipher = make_ctx()
+        bcu.check(ctx, make_unprotected_pointer(BASE), BASE, BASE + 3,
+                  is_store=False)
+        bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        assert bcu.stats.reduction_percent() == pytest.approx(50.0)
+
+    def test_flush_keeps_stats(self):
+        bcu = BoundsCheckingUnit()
+        ctx, cipher = make_ctx()
+        bcu.check(ctx, tagged(cipher), BASE, BASE + 3, is_store=False)
+        bcu.flush()
+        assert bcu.stats.checks_type2 == 1
+        assert len(bcu.l1) == 0

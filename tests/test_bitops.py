@@ -1,0 +1,125 @@
+"""Unit + property tests for the bit-field helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    bit_slice,
+    is_power_of_two,
+    mask,
+    next_power_of_two,
+    round_up,
+    set_bit_slice,
+    sign_extend,
+    to_unsigned64,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(3) == 0b111
+
+    def test_64(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitSlice:
+    def test_basic(self):
+        assert bit_slice(0b10110, 1, 3) == 0b011
+
+    def test_high_bits(self):
+        value = 0xABCD << 48
+        assert bit_slice(value, 48, 16) == 0xABCD
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 63),
+           st.integers(1, 32))
+    def test_roundtrip_with_set(self, value, lo, width):
+        field = bit_slice(value, lo, width)
+        assert set_bit_slice(value, lo, width, field) == value
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 48),
+           st.integers(1, 16))
+    def test_set_then_get(self, value, lo, width):
+        field = (value >> 3) & mask(width)
+        updated = set_bit_slice(value, lo, width, field)
+        assert bit_slice(updated, lo, width) == field
+
+
+class TestSetBitSlice:
+    def test_overflowing_field_rejected(self):
+        with pytest.raises(ValueError):
+            set_bit_slice(0, 0, 2, 4)
+
+    def test_clears_old_bits(self):
+        assert set_bit_slice(0b1111, 1, 2, 0) == 0b1001
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0b0111, 4) == 7
+
+    def test_negative(self):
+        assert sign_extend(0b1111, 4) == -1
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_roundtrip_32(self, value):
+        assert sign_extend(value & mask(32), 32) == value
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(512) == 512
+
+    def test_next_power_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(1, 1 << 40))
+    def test_next_power_bounds(self, value):
+        p = next_power_of_two(value)
+        assert is_power_of_two(p)
+        assert p >= value
+        assert p < 2 * value
+
+
+class TestRoundUp:
+    def test_exact(self):
+        assert round_up(512, 512) == 512
+
+    def test_up(self):
+        assert round_up(513, 512) == 1024
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            round_up(1, 0)
+
+    @given(st.integers(0, 1 << 40), st.sampled_from([1, 16, 512, 4096]))
+    def test_properties(self, value, alignment):
+        r = round_up(value, alignment)
+        assert r >= value
+        assert r % alignment == 0
+        assert r - value < alignment
+
+
+class TestUnsigned64:
+    @given(st.integers())
+    def test_range(self, value):
+        assert 0 <= to_unsigned64(value) < (1 << 64)
+
+    def test_wrap(self):
+        assert to_unsigned64(-1) == (1 << 64) - 1

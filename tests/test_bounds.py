@@ -1,0 +1,134 @@
+"""Tests for bounds metadata and the RBT (paper Figure 6, §5.2.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    Bounds,
+    ENTRY_BYTES,
+    RBT_ENTRIES,
+    RegionBoundsTable,
+)
+
+BASES = st.integers(0, (1 << 48) - 1)
+SIZES = st.integers(0, (1 << 32) - 1)
+
+
+class TestBounds:
+    @given(BASES, SIZES, st.booleans(), st.booleans())
+    def test_pack_unpack_roundtrip(self, base, size, ro, valid):
+        b = Bounds(base_addr=base, size=size, read_only=ro, valid=valid)
+        assert Bounds.unpack(b.pack()) == b
+
+    def test_pack_size(self):
+        assert len(Bounds(base_addr=0, size=0).pack()) == ENTRY_BYTES
+
+    def test_base_too_large(self):
+        with pytest.raises(ValueError):
+            Bounds(base_addr=1 << 48, size=0)
+
+    def test_size_too_large(self):
+        with pytest.raises(ValueError):
+            Bounds(base_addr=0, size=1 << 32)
+
+    def test_contains_range(self):
+        b = Bounds(base_addr=0x1000, size=64)
+        assert b.contains_range(0x1000, 0x103F)
+        assert not b.contains_range(0x0FFF, 0x1000)   # starts below
+        assert not b.contains_range(0x1000, 0x1040)   # ends past
+        assert b.contains_range(0x1020, 0x1020)       # single byte
+
+    def test_end(self):
+        assert Bounds(base_addr=0x100, size=16).end == 0x110
+
+    def test_unpack_wrong_size(self):
+        with pytest.raises(ValueError):
+            Bounds.unpack(b"\x00" * 5)
+
+
+class TestRegionBoundsTable:
+    def test_set_lookup(self):
+        rbt = RegionBoundsTable()
+        b = Bounds(base_addr=0x2000, size=128)
+        rbt.set(5, b)
+        assert rbt.lookup(5) == b
+
+    def test_unassigned_is_invalid(self):
+        rbt = RegionBoundsTable()
+        assert not rbt.lookup(123).valid
+
+    def test_invalidate(self):
+        rbt = RegionBoundsTable()
+        rbt.set(3, Bounds(base_addr=0, size=4))
+        rbt.invalidate(3)
+        assert not rbt.lookup(3).valid
+
+    def test_id_range_enforced(self):
+        rbt = RegionBoundsTable()
+        with pytest.raises(ValueError):
+            rbt.lookup(RBT_ENTRIES)
+        with pytest.raises(ValueError):
+            rbt.set(-1, Bounds(base_addr=0, size=0))
+
+    def test_len_and_assigned_ids(self):
+        rbt = RegionBoundsTable()
+        rbt.set(9, Bounds(base_addr=0, size=1))
+        rbt.set(2, Bounds(base_addr=0, size=1))
+        assert len(rbt) == 2
+        assert rbt.assigned_ids() == [2, 9]
+
+    def test_image_size(self):
+        assert RegionBoundsTable().image_size == RBT_ENTRIES * ENTRY_BYTES
+
+    def test_entry_offset(self):
+        rbt = RegionBoundsTable()
+        assert rbt.entry_offset(7) == 7 * ENTRY_BYTES
+
+
+class TestDeviceImage:
+    """The RBT's in-memory wire image (§5.4: driver writes, BCU reads)."""
+
+    def test_write_and_read_entry(self):
+        store = bytearray(1 << 20)
+
+        def write(addr, data):
+            store[addr:addr + len(data)] = data
+
+        def read(addr, size):
+            return bytes(store[addr:addr + size])
+
+        rbt = RegionBoundsTable()
+        rbt.set(100, Bounds(base_addr=0x3000, size=256, read_only=True))
+        rbt.write_image(write, base_addr=0x400)
+
+        loaded = RegionBoundsTable.read_entry(read, 0x400, 100)
+        assert loaded.base_addr == 0x3000
+        assert loaded.size == 256
+        assert loaded.read_only
+        assert loaded.valid
+
+    def test_zero_bytes_decode_invalid(self):
+        def read(addr, size):
+            return b"\x00" * size
+
+        entry = RegionBoundsTable.read_entry(read, 0, 50)
+        assert not entry.valid
+
+    @given(st.integers(0, RBT_ENTRIES - 1), BASES,
+           st.integers(0, (1 << 32) - 1))
+    def test_image_roundtrip_random_entries(self, buffer_id, base, size):
+        store = {}
+
+        def write(addr, data):
+            for i, byte in enumerate(data):
+                store[addr + i] = byte
+
+        def read(addr, length):
+            return bytes(store.get(addr + i, 0) for i in range(length))
+
+        rbt = RegionBoundsTable()
+        rbt.set(buffer_id, Bounds(base_addr=base, size=size))
+        rbt.write_image(write, 0)
+        loaded = RegionBoundsTable.read_entry(read, 0, buffer_id)
+        assert loaded.base_addr == base
+        assert loaded.size == size

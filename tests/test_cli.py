@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, main, run_artifact
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_static_artifacts(self, capsys):
+        for name in ("fig1", "fig11", "table3"):
+            assert main([name]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_subset_sweep(self, capsys):
+        assert main(["fig14", "--subset", "1"]) == 0
+        assert "Figure 14" in capsys.readouterr().out
+
+    def test_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            run_artifact("fig99")
+
+    def test_run_artifact_returns_text(self):
+        assert "GPUShield" in run_artifact("table3")

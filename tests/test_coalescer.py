@@ -1,0 +1,83 @@
+"""Tests for the address coalescing unit (paper §5.5.1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.gpu.coalescer import coalesce
+
+
+class TestBasics:
+    def test_fully_coalesced_warp(self):
+        """32 consecutive 4B accesses fit one 128B transaction."""
+        addrs = [0x1000 + 4 * lane for lane in range(32)]
+        ca = coalesce(addrs, 4, 128)
+        assert ca.num_transactions == 1
+        assert ca.transactions == (0x1000,)
+        assert ca.min_addr == 0x1000
+        assert ca.max_addr == 0x1000 + 127
+
+    def test_strided_accesses_split(self):
+        addrs = [0x0 + 256 * lane for lane in range(8)]
+        ca = coalesce(addrs, 4, 128)
+        assert ca.num_transactions == 8
+
+    def test_masked_lanes_ignored(self):
+        addrs = [0x1000, None, None, 0x1004]
+        ca = coalesce(addrs, 4, 128)
+        assert ca.active_lanes == 2
+        assert ca.num_transactions == 1
+
+    def test_all_masked_returns_none(self):
+        assert coalesce([None, None], 4, 128) is None
+
+    def test_access_straddles_line(self):
+        ca = coalesce([126], 4, 128)   # bytes 126..129 span two lines
+        assert ca.num_transactions == 2
+        assert ca.max_addr == 129
+
+    def test_single_lane(self):
+        ca = coalesce([0x2000], 8, 128)
+        assert ca.min_addr == 0x2000
+        assert ca.max_addr == 0x2007
+
+
+ADDRS = st.lists(st.one_of(st.none(), st.integers(0, 1 << 30)),
+                 min_size=1, max_size=32)
+
+
+class TestProperties:
+    @given(ADDRS, st.sampled_from([1, 4, 8]))
+    def test_transactions_cover_all_accesses(self, addrs, size):
+        ca = coalesce(addrs, size, 128)
+        active = [a for a in addrs if a is not None]
+        if not active:
+            assert ca is None
+            return
+        segments = {t // 128 for t in ca.transactions}
+        for a in active:
+            assert a // 128 in segments
+            assert (a + size - 1) // 128 in segments
+
+    @given(ADDRS, st.sampled_from([1, 4, 8]))
+    def test_min_max_tight(self, addrs, size):
+        ca = coalesce(addrs, size, 128)
+        active = [a for a in addrs if a is not None]
+        if not active:
+            return
+        assert ca.min_addr == min(active)
+        assert ca.max_addr == max(a + size - 1 for a in active)
+
+    @given(ADDRS)
+    def test_transaction_alignment(self, addrs):
+        ca = coalesce(addrs, 4, 128)
+        if ca is None:
+            return
+        assert all(t % 128 == 0 for t in ca.transactions)
+        assert list(ca.transactions) == sorted(set(ca.transactions))
+
+    @given(ADDRS)
+    def test_no_more_transactions_than_touched_segments(self, addrs):
+        ca = coalesce(addrs, 4, 128)
+        if ca is None:
+            return
+        # Each active lane touches at most two segments.
+        assert ca.num_transactions <= 2 * ca.active_lanes

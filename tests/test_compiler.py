@@ -1,0 +1,296 @@
+"""Tests for the compiler: lowering, data-flow analysis, static bounds."""
+
+import pytest
+
+from repro.compiler.bat import AccessVerdict, BoundsAnalysisTable
+from repro.compiler.dataflow import LaunchBounds, analyze_function
+from repro.compiler.lowering import lower_kernel
+from repro.compiler.static_bounds import StaticBoundsChecker
+from repro.isa.builder import KernelBuilder
+
+
+def bounds(workgroups=4, wg_size=64, **scalars):
+    return LaunchBounds(workgroups=workgroups, workgroup_size=wg_size,
+                        scalar_args=scalars)
+
+
+class TestLowering:
+    def test_gep_per_access(self):
+        b = KernelBuilder("k")
+        a = b.arg_ptr("a")
+        b.ld_idx(a, b.gtid(), dtype="f32")
+        b.st_idx(a, b.gtid(), 1.0, dtype="f32")
+        fn = lower_kernel(b.build())
+        assert len(fn.geps()) == 2
+        assert len(fn.memory_ops()) == 2
+
+    def test_shared_accesses_not_lowered(self):
+        b = KernelBuilder("k")
+        b.shared_mem(64)
+        b.st_shared(0, 1.0)
+        fn = lower_kernel(b.build())
+        assert fn.geps() == []
+
+    def test_argument_lowering_shape(self):
+        """Scalar args lower via alloca/store/load (the Figure 8a shape)."""
+        b = KernelBuilder("k")
+        a = b.arg_ptr("a")
+        n = b.arg_scalar("n")
+        b.st(a, b.mul(n, 4), 0, dtype="f32")
+        fn = lower_kernel(b.build())
+        opcodes = [i.opcode for i in fn.instructions]
+        assert "alloca" in opcodes
+        assert "load_arg" in opcodes
+
+    def test_dump_is_textual_ir(self):
+        b = KernelBuilder("k")
+        a = b.arg_ptr("a")
+        b.ld_idx(a, b.gtid(), dtype="f32")
+        text = lower_kernel(b.build()).dump()
+        assert "getelementptr" in text
+        assert "get_gtid" in text
+
+
+class TestIntervalAnalysis:
+    def _intervals(self, build_fn, launch=None):
+        b = KernelBuilder("k")
+        build_fn(b)
+        kernel = b.build()
+        fn = lower_kernel(kernel)
+        return analyze_function(fn, launch or bounds())
+
+    def test_gtid_affine(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.gtid(), dtype="f32")
+
+        iv = self._intervals(build)
+        # gtid in [0, 255]; byte offset = gtid*4 in [0, 1020]
+        assert iv[0] == (0, 1020)
+
+    def test_scalar_arg_value(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            n = b.arg_scalar("n")
+            b.st(a, b.mul(n, 4), 0, dtype="f32")
+
+        iv = self._intervals(build, bounds(n=100))
+        assert iv[0] == (400, 400)
+
+    def test_unknown_scalar(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            n = b.arg_scalar("n")
+            b.st(a, b.mul(n, 4), 0, dtype="f32")
+
+        iv = self._intervals(build, bounds())   # n not provided
+        assert iv[0] is None
+
+    def test_declared_maximum(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            n = b.arg_scalar("n", max_value=16)
+            b.st(a, b.mul(n, 4), 0, dtype="f32")
+
+        b_ = KernelBuilder("k")
+        build(b_)
+        kernel = b_.build()
+        fn = lower_kernel(kernel)
+        lb = LaunchBounds(workgroups=1, workgroup_size=64,
+                          scalar_maxima={"n": 16})
+        assert analyze_function(fn, lb)[0] == (0, 64)
+
+    def test_min_max_clamping(self):
+        """Stencil-style clamped neighbours stay bounded."""
+        def build(b):
+            a = b.arg_ptr("a")
+            idx = b.min_(b.add(b.gtid(), 1), 255)
+            idx = b.max_(idx, 0)
+            b.ld_idx(a, idx, dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[0] == (4, 255 * 4)   # min(gtid+1, 255) ranges over [1, 255]
+
+    def test_indirect_is_unknown(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            j = b.ld_idx(a, b.gtid(), dtype="i32")
+            b.ld_idx(a, j, dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[1] is None
+
+    def test_loop_induction_range(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            with b.loop(8) as i:
+                b.ld_idx(a, i, dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[0] == (0, 28)
+
+    def test_induction_from_scalar_count(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            k = b.arg_scalar("k")
+            with b.loop(k) as i:
+                b.ld_idx(a, i, dtype="f32")
+
+        iv = self._intervals(build, bounds(k=5))
+        assert iv[0] == (0, 16)
+
+    def test_mod_bounded(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.mod(b.gtid(), 16), dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[0] == (0, 60)
+
+    def test_shift_left(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld(a, b.shl(b.gtid(), 2), dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[0] == (0, 1020)
+
+    def test_xor_is_unknown(self):
+        """Bitonic-style partner indexing defeats the analysis."""
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.xor(b.gtid(), 4), dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[0] is None
+
+    def test_subtraction_can_go_negative(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.sub(b.gtid(), 1), dtype="f32")
+
+        iv = self._intervals(build)
+        assert iv[0][0] < 0
+
+
+class TestStaticBounds:
+    def _analyze(self, build_fn, buffer_sizes, launch=None, enabled=True):
+        b = KernelBuilder("k")
+        build_fn(b)
+        kernel = b.build()
+        checker = StaticBoundsChecker(enabled=enabled)
+        return checker.analyze(kernel, launch or bounds(), buffer_sizes)
+
+    def test_safe_pointer(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.gtid(), dtype="f32")
+
+        bat = self._analyze(build, {"a": 1024})
+        assert bat.pointer_safe["a"]
+        assert bat.rows[0].verdict is AccessVerdict.NO
+
+    def test_provable_oob(self):
+        """Figure 5's 'Yes' row: constant offset past the end."""
+        def build(b):
+            a = b.arg_ptr("a")
+            b.st_idx(a, 1 << 20, 0, dtype="i32")
+
+        bat = self._analyze(build, {"a": 1024})
+        assert bat.rows[0].verdict is AccessVerdict.YES
+        assert bat.static_errors
+        assert not bat.pointer_safe["a"]
+
+    def test_boundary_exact_fit(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.gtid(), dtype="f32")   # gtid up to 255
+
+        assert self._analyze(build, {"a": 1024}).pointer_safe["a"]
+        assert not self._analyze(build, {"a": 1023}).pointer_safe["a"]
+
+    def test_indirect_unknown(self):
+        def build(b):
+            idx = b.arg_ptr("idx")
+            data = b.arg_ptr("data")
+            j = b.ld_idx(idx, b.gtid(), dtype="i32")
+            b.ld_idx(data, j, dtype="f32")
+
+        bat = self._analyze(build, {"idx": 1024, "data": 1024})
+        assert bat.pointer_safe["idx"]
+        assert not bat.pointer_safe["data"]
+        data_row = bat.rows_for("data")[0]
+        assert data_row.verdict is AccessVerdict.UNKNOWN
+
+    def test_mixed_accesses_keep_pointer_runtime(self):
+        """One unknown access forces the whole pointer to Type 2."""
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.gtid(), dtype="f32")            # provably safe
+            j = b.ld_idx(a, b.gtid(), dtype="i32")
+            b.st_idx(a, j, 0, dtype="i32")                # indirect
+
+        bat = self._analyze(build, {"a": 4096})
+        assert not bat.pointer_safe["a"]
+
+    def test_disabled_analysis_marks_all_runtime(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.gtid(), dtype="f32")
+
+        bat = self._analyze(build, {"a": 1024}, enabled=False)
+        assert not bat.pointer_safe["a"]
+        assert bat.rows[0].verdict is AccessVerdict.UNKNOWN
+
+    def test_heap_never_safe(self):
+        def build(b):
+            p = b.malloc(64)
+            b.st(p, 0, 1, dtype="i32")
+
+        bat = self._analyze(build, {})
+        assert not bat.pointer_safe.get("__heap", False)
+
+    def test_pointer_verdict_rollup(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.gtid(), dtype="f32")
+
+        b_ = KernelBuilder("k")
+        build(b_)
+        kernel = b_.build()
+        checker = StaticBoundsChecker()
+        bat = checker.analyze(kernel, bounds(), {"a": 1024})
+        verdicts = checker.pointer_verdicts(bat)
+        assert verdicts["a"].safe
+        assert verdicts["a"].checked_accesses == 1
+
+
+class TestBatSerialization:
+    def _bat(self):
+        b = KernelBuilder("k")
+        a = b.arg_ptr("a")
+        n = b.arg_scalar("n")
+        j = b.ld_idx(a, b.gtid(), dtype="i32")
+        b.st_idx(a, j, 0, dtype="i32")
+        kernel = b.build()
+        return StaticBoundsChecker().analyze(kernel, bounds(n=4), {"a": 4096})
+
+    def test_roundtrip(self):
+        bat = self._bat()
+        blob = bat.to_bytes()
+        back = BoundsAnalysisTable.from_bytes(blob, kernel_name="k")
+        assert back.pointer_safe == bat.pointer_safe
+        assert len(back.rows) == len(bat.rows)
+        for a, b in zip(bat.rows, back.rows):
+            assert (a.access_id, a.param, a.is_store, a.verdict) == \
+                (b.access_id, b.param, b.is_store, b.verdict)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            BoundsAnalysisTable.from_bytes(b"NOTABAT0" + b"\x00" * 16)
+
+    def test_safe_access_ids(self):
+        bat = self._bat()
+        ids = bat.safe_access_ids()
+        assert 0 in ids      # the affine load
+        assert 1 not in ids  # the indirect store

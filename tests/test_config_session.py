@@ -1,0 +1,113 @@
+"""Tests for GPU config presets, sessions, and shield aggregation."""
+
+import pytest
+
+from repro import (
+    GPUShield,
+    GpuSession,
+    KernelBuilder,
+    ShieldConfig,
+    intel_config,
+    nvidia_config,
+)
+
+
+class TestConfigPresets:
+    def test_nvidia_matches_table5(self):
+        cfg = nvidia_config()
+        assert cfg.num_cores == 16
+        assert cfg.clock_ghz == 1.6
+        assert cfg.threads_per_core == 1024
+        assert cfg.l1d_bytes == 16 * 1024
+        assert cfg.l1tlb_entries == 64
+        assert cfg.l2_bytes == 2 * 1024 * 1024
+        assert cfg.l2_assoc == 16
+        assert cfg.l2tlb_entries == 1024
+        assert cfg.l2tlb_assoc == 32
+        assert cfg.dram_channels == 16
+        assert cfg.dram_row_bytes == 2048
+        assert cfg.addressing == "method_b"
+        assert cfg.page_size == 2 << 20
+
+    def test_intel_matches_table5(self):
+        cfg = intel_config()
+        assert cfg.num_cores == 24
+        assert cfg.clock_ghz == 1.0
+        assert cfg.max_warps_per_core == 7
+        assert cfg.warp_size == 8
+        assert cfg.l1d_bytes == 32 * 1024
+        assert cfg.addressing == "method_c"
+
+    def test_scaled_override(self):
+        cfg = nvidia_config(num_cores=2)
+        assert cfg.num_cores == 2
+        assert cfg.warp_size == 32   # everything else untouched
+
+    def test_configs_frozen(self):
+        with pytest.raises(Exception):
+            nvidia_config().num_cores = 5
+
+
+class TestGPUShieldAggregation:
+    def test_make_bcu_shares_log(self):
+        shield = GPUShield(ShieldConfig(enabled=True))
+        a = shield.make_bcu()
+        b = shield.make_bcu()
+        assert a.log is b.log is shield.log
+        assert shield.bcus == [a, b]
+
+    def test_vacuous_rates(self):
+        shield = GPUShield(ShieldConfig(enabled=True))
+        assert shield.l1_hit_rate() == 1.0
+        assert shield.l2_hit_rate() == 1.0
+        assert shield.reduction_percent() == 0.0
+
+    def test_reset_stats(self):
+        from repro.core.bounds import Bounds
+        from repro.core.bcu import KernelSecurityContext
+        from repro.core.crypto import IdCipher
+        from repro.core.pointer import make_base_pointer
+
+        shield = GPUShield(ShieldConfig(enabled=True))
+        bcu = shield.make_bcu()
+        cipher = IdCipher(1)
+        ctx = KernelSecurityContext(
+            kernel_id=1, cipher=cipher,
+            rbt_read_entry=lambda i: Bounds(base_addr=0, size=64))
+        bcu.check(ctx, make_base_pointer(0, cipher.encrypt(3)), 0, 3,
+                  is_store=False)
+        assert shield.total_rbt_fills() == 1
+        shield.reset_stats()
+        assert shield.total_rbt_fills() == 0
+
+
+class TestSession:
+    def test_disabled_by_default(self):
+        session = GpuSession(nvidia_config(num_cores=1))
+        assert not session.shield.enabled
+
+    def test_seed_controls_ids(self):
+        def first_payload(seed):
+            session = GpuSession(nvidia_config(num_cores=1),
+                                 shield=ShieldConfig(enabled=True),
+                                 seed=seed)
+            b = KernelBuilder("k")
+            a = b.arg_ptr("a")
+            j = b.ld_idx(a, 0, dtype="i32")
+            b.st_idx(a, j, 0, dtype="i32")
+            buf = session.driver.malloc(64)
+            launch = session.driver.launch(b.build(), {"a": buf}, 1, 32)
+            return launch.arg_values["a"] >> 48
+
+        assert first_payload(1) == first_payload(1)
+        assert first_payload(1) != first_payload(2)
+
+    def test_run_returns_record_and_violations(self, tiny_config):
+        session = GpuSession(tiny_config, shield=ShieldConfig(enabled=True))
+        b = KernelBuilder("nop")
+        a = b.arg_ptr("a")
+        b.st_idx(a, b.gtid(), 1, dtype="i32")
+        buf = session.driver.malloc(64 * 4)
+        result, violations = session.run(b.build(), {"a": buf}, 1, 64)
+        assert result.ok
+        assert violations == []

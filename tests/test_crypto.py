@@ -1,0 +1,67 @@
+"""Tests for the per-kernel buffer-ID cipher (paper §5.2.4)."""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.core.crypto import ID_SPACE, IdCipher
+
+KEYS = st.integers(0, (1 << 64) - 1)
+IDS = st.integers(0, ID_SPACE - 1)
+
+
+class TestBijection:
+    @given(KEYS, IDS)
+    def test_roundtrip(self, key, plain):
+        cipher = IdCipher(key)
+        assert cipher.decrypt(cipher.encrypt(plain)) == plain
+
+    @given(KEYS)
+    @settings(max_examples=20)
+    def test_full_permutation(self, key):
+        cipher = IdCipher(key)
+        seen = {cipher.encrypt(i) for i in range(0, ID_SPACE, 97)}
+        assert len(seen) == len(range(0, ID_SPACE, 97))
+
+    def test_exhaustive_small_key(self):
+        cipher = IdCipher(0xDEADBEEF)
+        images = [cipher.encrypt(i) for i in range(ID_SPACE)]
+        assert sorted(images) == list(range(ID_SPACE))
+
+
+class TestKeying:
+    def test_different_keys_differ(self):
+        a = IdCipher(1)
+        b = IdCipher(2)
+        diffs = sum(a.encrypt(i) != b.encrypt(i) for i in range(256))
+        assert diffs > 200   # near-total divergence between keys
+
+    def test_same_key_deterministic(self):
+        assert IdCipher(42).encrypt(1234) == IdCipher(42).encrypt(1234)
+
+    def test_encryption_not_identity(self):
+        cipher = IdCipher(0xC0FFEE)
+        moved = sum(cipher.encrypt(i) != i for i in range(256))
+        assert moved > 200   # the plain ID must not leak through
+
+
+class TestRangeChecks:
+    def test_encrypt_range(self):
+        with pytest.raises(ValueError):
+            IdCipher(0).encrypt(ID_SPACE)
+        with pytest.raises(ValueError):
+            IdCipher(0).encrypt(-1)
+
+    def test_decrypt_range(self):
+        with pytest.raises(ValueError):
+            IdCipher(0).decrypt(ID_SPACE)
+
+
+class TestForgingResistance:
+    """A forged payload decrypts to an effectively random ID (paper §6.1)."""
+
+    def test_flipping_bits_scatters(self):
+        cipher = IdCipher(0x1234567890)
+        base = cipher.encrypt(100)
+        decoded = {cipher.decrypt(base ^ (1 << bit)) for bit in range(14)}
+        assert 100 not in decoded
+        assert len(decoded) > 10

@@ -1,0 +1,64 @@
+"""Tests for the DRAM timing model (FR-FCFS approximation)."""
+
+import pytest
+
+from repro.gpu.dram import Dram
+
+
+def make(channels=2):
+    return Dram(channels=channels, row_bytes=2048, line_size=128,
+                row_hit_latency=100, row_miss_latency=200,
+                service_interval=4)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = make()
+        done = dram.access(0, cycle=0)
+        assert done == 200
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = make()
+        dram.access(0, 0)
+        done = dram.access(128 * 2, 10)   # same channel 0, same row
+        assert done == max(10, 4) + 100
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_misses(self):
+        dram = make()
+        dram.access(0, 0)
+        far = 2048 * 2 * 4   # same channel, different row
+        dram.access(far, 50)
+        assert dram.stats.row_misses == 2
+
+
+class TestChannels:
+    def test_line_interleaving(self):
+        dram = make(channels=2)
+        dram.access(0, 0)       # channel 0
+        dram.access(128, 0)     # channel 1: no queueing against channel 0
+        assert dram.stats.total_queue_cycles == 0
+
+    def test_same_channel_queues(self):
+        dram = make(channels=2)
+        dram.access(0, 0)
+        dram.access(256, 0)     # channel 0 again: waits service interval
+        assert dram.stats.total_queue_cycles == 4
+
+    def test_burst_serialises(self):
+        dram = make(channels=1)
+        finishes = [dram.access(i * 128, 0) for i in range(4)]
+        # Each request starts a service interval later than the previous
+        # (row hits may finish before the opening row miss — pipelining).
+        assert dram.stats.total_queue_cycles == 4 + 8 + 12
+        assert finishes[1:] == [104, 108, 112]
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        dram = make()
+        dram.access(0, 0)
+        dram.reset()
+        assert dram.stats.requests == 0
+        assert dram.access(0, 0) == 200   # row buffer closed again

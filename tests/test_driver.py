@@ -1,0 +1,233 @@
+"""Tests for the GPU driver's launch setup (paper §5.4, Figure 10)."""
+
+import pytest
+
+from repro import GpuDriver, GPUShield, KernelBuilder, ShieldConfig
+from repro.core.pointer import PointerType, decode
+from repro.errors import IllegalAddressError, LaunchError
+from repro.gpu.config import intel_config, nvidia_config
+from tests.conftest import build_vecadd
+
+
+def make_driver(shield=True, config=None, seed=1):
+    cfg = config or nvidia_config(num_cores=2)
+    gpushield = GPUShield(ShieldConfig(enabled=shield))
+    return GpuDriver(cfg, shield=gpushield, seed=seed)
+
+
+def simple_kernel(indirect=False):
+    b = KernelBuilder("k")
+    a = b.arg_ptr("a")
+    n = b.arg_scalar("n")
+    gtid = b.gtid()
+    p = b.setp("lt", gtid, n)
+    with b.if_(p):
+        if indirect:
+            j = b.ld_idx(a, gtid, dtype="i32")
+            b.st_idx(a, j, 0, dtype="i32")
+        else:
+            b.st_idx(a, gtid, 1, dtype="i32")
+    return b.build()
+
+
+class TestLaunchValidation:
+    def test_missing_argument(self):
+        driver = make_driver()
+        with pytest.raises(LaunchError):
+            driver.launch(simple_kernel(), {}, 1, 64)
+
+    def test_scalar_for_buffer_rejected(self):
+        driver = make_driver()
+        with pytest.raises(LaunchError):
+            driver.launch(simple_kernel(), {"a": 5, "n": 5}, 1, 64)
+
+    def test_buffer_for_scalar_rejected(self):
+        driver = make_driver()
+        buf = driver.malloc(256)
+        with pytest.raises(LaunchError):
+            driver.launch(simple_kernel(), {"a": buf, "n": buf}, 1, 64)
+
+    def test_freed_buffer_rejected(self):
+        driver = make_driver()
+        buf = driver.malloc(256)
+        driver.free(buf)
+        with pytest.raises(LaunchError):
+            driver.launch(simple_kernel(), {"a": buf, "n": 4}, 1, 64)
+
+    def test_wg_size_multiple_of_warp(self):
+        driver = make_driver()
+        buf = driver.malloc(256)
+        with pytest.raises(LaunchError):
+            driver.launch(simple_kernel(), {"a": buf, "n": 4}, 1, 48)
+
+    def test_bad_geometry(self):
+        driver = make_driver()
+        buf = driver.malloc(256)
+        with pytest.raises(LaunchError):
+            driver.launch(simple_kernel(), {"a": buf, "n": 4}, 0, 64)
+
+
+class TestPointerTagging:
+    def test_safe_pointer_untagged(self):
+        driver = make_driver()
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(), {"a": buf, "n": 64}, 1, 64)
+        assert launch.pointer_types["a"] is PointerType.UNPROTECTED
+
+    def test_runtime_pointer_gets_encrypted_id(self):
+        driver = make_driver()
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(indirect=True),
+                               {"a": buf, "n": 64}, 1, 64)
+        assert launch.pointer_types["a"] is PointerType.BASE
+        tp = decode(launch.arg_values["a"])
+        assert tp.va == buf.va
+        # Encrypted ID decrypts to a valid RBT entry.
+        plain = launch.security.cipher.decrypt(tp.payload)
+        bounds = launch.security.rbt_read_entry(plain)
+        assert bounds.valid
+        assert bounds.base_addr == buf.va
+        assert bounds.size == buf.size
+
+    def test_type3_on_intel_addressing(self):
+        driver = make_driver(config=intel_config(num_cores=2))
+        buf = driver.malloc(600)   # pads to 1024
+        launch = driver.launch(simple_kernel(indirect=True),
+                               {"a": buf, "n": 32}, 1, 32)
+        assert launch.pointer_types["a"] is PointerType.OFFSET_OPT
+        assert decode(launch.arg_values["a"]).payload == 10   # log2(1024)
+
+    def test_shield_disabled_raw_pointers(self):
+        driver = make_driver(shield=False)
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(), {"a": buf, "n": 4}, 1, 64)
+        assert launch.arg_values["a"] == buf.va
+        assert launch.security is None
+
+    def test_static_analysis_off_tags_everything(self):
+        shield = GPUShield(ShieldConfig(enabled=True, static_analysis=False))
+        driver = GpuDriver(nvidia_config(num_cores=2), shield=shield)
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(), {"a": buf, "n": 4}, 1, 64)
+        assert launch.pointer_types["a"] is PointerType.BASE
+
+
+class TestIdAssignment:
+    def _ids(self, driver, launch):
+        return set(launch.security.cipher.decrypt(
+            decode(v).payload) for k, v in launch.arg_values.items()
+            if isinstance(v, int) and decode(v).ptype is PointerType.BASE)
+
+    def test_ids_unique_within_kernel(self):
+        driver = make_driver()
+        kernel = build_multi_ptr_kernel(4)
+        bufs = {f"p{i}": driver.malloc(256) for i in range(4)}
+        launch = driver.launch(kernel, {**bufs, "n": 1 << 20}, 1, 64)
+        ids = self._ids(driver, launch)
+        assert len(ids) == 4
+
+    def test_keys_change_between_launches(self):
+        driver = make_driver()
+        kernel = simple_kernel(indirect=True)
+        buf = driver.malloc(4096)
+        l1 = driver.launch(kernel, {"a": buf, "n": 4}, 1, 64)
+        driver.finish(l1)
+        l2 = driver.launch(kernel, {"a": buf, "n": 4}, 1, 64)
+        assert l1.security.cipher.key != l2.security.cipher.key
+        # Stale pointers from launch 1 decode to garbage under launch 2.
+        stale = decode(l1.arg_values["a"]).payload
+        fresh = decode(l2.arg_values["a"]).payload
+        assert stale != fresh or \
+            l1.security.cipher.decrypt(stale) != \
+            l2.security.cipher.decrypt(stale)
+
+    def test_kernel_ids_increment(self):
+        driver = make_driver()
+        kernel = simple_kernel()
+        buf = driver.malloc(4096)
+        l1 = driver.launch(kernel, {"a": buf, "n": 4}, 1, 64)
+        l2 = driver.launch(kernel, {"a": buf, "n": 4}, 1, 64)
+        assert l2.kernel_id == l1.kernel_id + 1
+
+
+class TestRbtProtection:
+    def test_rbt_pages_not_kernel_accessible(self):
+        driver = make_driver()
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(indirect=True),
+                               {"a": buf, "n": 4}, 1, 64)
+        rbt_va = launch.rbt_buffer.va
+        with pytest.raises(IllegalAddressError):
+            driver.space.translate(rbt_va)
+        assert driver.space.translate(rbt_va, bypass_protection=True)
+
+    def test_heap_entry_present(self):
+        driver = make_driver()
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(indirect=True),
+                               {"a": buf, "n": 4}, 1, 64)
+        tagged = launch.heap_pointer_tagger(driver.heap.base)
+        tp = decode(tagged)
+        assert tp.ptype is PointerType.BASE
+        heap_id = launch.security.cipher.decrypt(tp.payload)
+        bounds = launch.security.rbt_read_entry(heap_id)
+        assert bounds.base_addr == driver.heap.base
+        assert bounds.size == driver.heap.limit
+
+
+class TestLocals:
+    def test_local_layout_and_protection(self):
+        b = KernelBuilder("k")
+        var = b.local_var("tmp", words_per_thread=2)
+        b.st_local(var, 0, 1.0)
+        kernel = b.build()
+        driver = make_driver()
+        launch = driver.launch(kernel, {}, 2, 64)
+        lbuf = launch.local_buffers["__local_tmp"]
+        assert lbuf.size == 2 * 4 * 128   # words * 4B * total threads
+        assert lbuf.region == "local"
+
+    def test_locals_freed_at_finish(self):
+        b = KernelBuilder("k")
+        var = b.local_var("tmp", words_per_thread=1)
+        b.st_local(var, 0, 1.0)
+        kernel = b.build()
+        driver = make_driver()
+        launch = driver.launch(kernel, {}, 1, 64)
+        lbuf = launch.local_buffers["__local_tmp"]
+        driver.finish(launch)
+        assert lbuf.freed
+
+
+class TestFinish:
+    def test_double_finish_rejected(self):
+        driver = make_driver()
+        buf = driver.malloc(4096)
+        launch = driver.launch(simple_kernel(), {"a": buf, "n": 4}, 1, 64)
+        driver.finish(launch)
+        with pytest.raises(LaunchError):
+            driver.finish(launch)
+
+    def test_type3_canary_detects_pad_writes(self):
+        driver = make_driver(config=intel_config(num_cores=2))
+        buf = driver.malloc(600)   # pad [600, 1024)
+        launch = driver.launch(simple_kernel(indirect=True),
+                               {"a": buf, "n": 32}, 1, 32)
+        # Simulate an overflow into the padding (inside the pow2 region,
+        # which the Type-3 offset check cannot see).
+        driver.memory.write(buf.va + 700, b"\x00\x01")
+        records = driver.finish(launch)
+        assert any(r.reason == "type3-canary" for r in records)
+
+
+def build_multi_ptr_kernel(n_ptrs):
+    b = KernelBuilder("multi")
+    ptrs = [b.arg_ptr(f"p{i}") for i in range(n_ptrs)]
+    n = b.arg_scalar("n")
+    gtid = b.gtid()
+    guard = b.setp("lt", gtid, n)
+    with b.if_(guard):
+        for p in ptrs:
+            j = b.ld_idx(p, gtid, dtype="i32")
+            b.st_idx(p, j, 0, dtype="i32", pred=guard)
+    return b.build()

@@ -1,0 +1,289 @@
+"""Tests for the functional SIMT executor."""
+
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.gpu.executor import Executor
+
+
+def run_scalar_kernel(build_fn, *, wg_size=32, workgroups=1, warp_size=32,
+                      initial=None, max_steps=100_000):
+    """Build a kernel, execute every warp to completion functionally,
+    collecting memory requests instead of servicing them."""
+    b = KernelBuilder("t")
+    result_regs = build_fn(b)
+    kernel = b.build()
+    ex = Executor(kernel, workgroups=workgroups, wg_size=wg_size,
+                  warp_size=warp_size, initial_regs=initial or {})
+    warps = []
+    for wg in range(workgroups):
+        warps.extend(ex.make_workgroup(wg, wg * ex.warps_per_wg))
+    requests = []
+    for warp in warps:
+        for _ in range(max_steps):
+            kind, payload = ex.step(warp)
+            if kind == "mem":
+                # deliver zeros for loads so execution can continue
+                if not payload.is_store:
+                    ex.deliver_load(warp, payload,
+                                    {l: 0 for l in payload.active_lanes})
+                requests.append(payload)
+            elif kind == "exit":
+                break
+        else:
+            pytest.fail("kernel did not terminate")
+    return kernel, warps, result_regs, requests
+
+
+class TestSpecials:
+    def test_tid_and_gtid(self):
+        def build(b):
+            return b.tid(), b.gtid()
+
+        _k, warps, (tid, gtid), _ = run_scalar_kernel(
+            build, wg_size=64, workgroups=2)
+        w = warps[1]   # second warp of wg 0
+        assert w.regs[tid.index] == list(range(32, 64))
+        w = warps[2]   # first warp of wg 1
+        assert w.regs[gtid.index] == list(range(64, 96))
+
+    def test_ntid_nctaid(self):
+        def build(b):
+            return b.ntid(), b.nctaid()
+
+        _k, warps, (ntid, nctaid), _ = run_scalar_kernel(
+            build, wg_size=32, workgroups=3)
+        assert warps[0].regs[ntid.index][0] == 32
+        assert warps[0].regs[nctaid.index][0] == 3
+
+
+class TestAlu:
+    def test_arithmetic(self):
+        def build(b):
+            x = b.add(b.mul(b.tid(), 3), 5)       # 3*tid + 5
+            y = b.mad(b.tid(), 2, 1)              # 2*tid + 1
+            return x, y
+
+        _k, warps, (x, y), _ = run_scalar_kernel(build)
+        assert warps[0].regs[x.index][4] == 17
+        assert warps[0].regs[y.index][4] == 9
+
+    def test_min_max_abs(self):
+        def build(b):
+            m = b.min_(b.tid(), 5)
+            mx = b.max_(b.tid(), 5)
+            return m, mx
+
+        _k, warps, (m, mx), _ = run_scalar_kernel(build)
+        assert warps[0].regs[m.index][10] == 5
+        assert warps[0].regs[mx.index][2] == 5
+
+    def test_division_by_zero_is_zero(self):
+        def build(b):
+            return (b.div(10, b.sub(b.tid(), b.tid())),
+                    b.mod(10, 0))
+
+        _k, warps, (d, m), _ = run_scalar_kernel(build)
+        assert warps[0].regs[d.index][0] == 0
+        assert warps[0].regs[m.index][0] == 0
+
+    def test_setp_and_sel(self):
+        def build(b):
+            p = b.setp("lt", b.tid(), 4)
+            return (b.sel(p, 100, 200),)
+
+        _k, warps, (s,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[s.index][3] == 100
+        assert warps[0].regs[s.index][4] == 200
+
+    def test_float_ops(self):
+        def build(b):
+            x = b.fmul(2.0, 3.0)
+            r = b.fsqrt(b.fadd(x, 10.0))
+            return (r,)
+
+        _k, warps, (r,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[r.index][0] == pytest.approx(4.0)
+
+
+class TestControlFlow:
+    def test_if_divergence(self):
+        def build(b):
+            p = b.setp("lt", b.tid(), 8)
+            x = b.mov(0)
+            with b.if_(p):
+                b.assign(x, 1)
+            return (x,)
+
+        _k, warps, (x,), _ = run_scalar_kernel(build)
+        values = warps[0].regs[x.index]
+        assert values[:8] == [1] * 8
+        assert values[8:] == [0] * 24
+
+    def test_if_else(self):
+        def build(b):
+            p = b.setp("lt", b.tid(), 8)
+            x = b.mov(0)
+            with b.if_(p):
+                b.assign(x, 1)
+                b.else_mark()
+                b.assign(x, 2)
+            return (x,)
+
+        _k, warps, (x,), _ = run_scalar_kernel(build)
+        values = warps[0].regs[x.index]
+        assert values[:8] == [1] * 8
+        assert values[8:] == [2] * 24
+
+    def test_if_all_false_skips_body(self):
+        def build(b):
+            p = b.setp("gt", b.tid(), 1000)
+            x = b.mov(7)
+            with b.if_(p):
+                b.assign(x, 9)
+            return (x,)
+
+        _k, warps, (x,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[x.index] == [7] * 32
+
+    def test_if_all_true_with_else(self):
+        def build(b):
+            p = b.setp("ge", b.tid(), 0)
+            x = b.mov(0)
+            with b.if_(p):
+                b.assign(x, 1)
+                b.else_mark()
+                b.assign(x, 2)
+            return (x,)
+
+        _k, warps, (x,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[x.index] == [1] * 32
+
+    def test_counted_loop(self):
+        def build(b):
+            acc = b.mov(0)
+            with b.loop(10) as i:
+                b.add(acc, i, out=acc)
+            return (acc,)
+
+        _k, warps, (acc,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[acc.index][0] == sum(range(10))
+
+    def test_loop_zero_count_skipped(self):
+        def build(b):
+            acc = b.mov(5)
+            with b.loop(0):
+                b.assign(acc, 99)
+            return (acc,)
+
+        _k, warps, (acc,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[acc.index][0] == 5
+
+    def test_loop_register_count(self):
+        def build(b):
+            n = b.mov(4)
+            acc = b.mov(0)
+            with b.loop(n):
+                b.add(acc, 1, out=acc)
+            return (acc,)
+
+        _k, warps, (acc,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[acc.index][0] == 4
+
+    def test_while_divergent_trip_counts(self):
+        """Lane l iterates l times: while + per-lane predicate."""
+        def build(b):
+            i = b.mov(0)
+            p = b.setp("lt", i, b.tid())
+            with b.while_(p):
+                b.add(i, 1, out=i)
+                b.setp("lt", i, b.tid(), out=p)
+            return (i,)
+
+        _k, warps, (i,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[i.index] == list(range(32))
+
+    def test_nested_loop(self):
+        def build(b):
+            acc = b.mov(0)
+            with b.loop(3):
+                with b.loop(4):
+                    b.add(acc, 1, out=acc)
+            return (acc,)
+
+        _k, warps, (acc,), _ = run_scalar_kernel(build)
+        assert warps[0].regs[acc.index][0] == 12
+
+
+class TestPredication:
+    def test_predicated_mov(self):
+        def build(b):
+            p = b.setp("eq", b.tid(), 3)
+            x = b.mov(0)
+            b.mov(42, out=x, pred=p)
+            return (x,)
+
+        _k, warps, (x,), _ = run_scalar_kernel(build)
+        values = warps[0].regs[x.index]
+        assert values[3] == 42
+        assert values[4] == 0
+
+
+class TestMemoryRequests:
+    def test_request_addresses(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.tid(), dtype="i32")
+            return ()
+
+        _k, _warps, _r, requests = run_scalar_kernel(
+            build, initial={0: 0x1000})
+        req = requests[0]
+        assert req.lane_addrs[0] == 0x1000
+        assert req.lane_addrs[5] == 0x1000 + 20
+        assert not req.is_store
+
+    def test_predicated_store_masks_lanes(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            p = b.setp("lt", b.tid(), 2)
+            b.st_idx(a, b.tid(), 7, dtype="i32", pred=p)
+            return ()
+
+        _k, _w, _r, requests = run_scalar_kernel(build, initial={0: 0x1000})
+        req = requests[0]
+        assert req.active_lanes == [0, 1]
+        assert req.lane_addrs[2] is None
+
+    def test_no_request_when_fully_masked(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            p = b.setp("gt", b.tid(), 100)
+            b.st_idx(a, b.tid(), 7, dtype="i32", pred=p)
+            return ()
+
+        _k, _w, _r, requests = run_scalar_kernel(build, initial={0: 0x1000})
+        assert requests == []
+
+    def test_store_values_captured(self):
+        def build(b):
+            a = b.arg_ptr("a")
+            b.st_idx(a, b.tid(), b.mul(b.tid(), 2), dtype="i32")
+            return ()
+
+        _k, _w, _r, requests = run_scalar_kernel(build, initial={0: 0})
+        assert requests[0].store_values[7] == 14
+
+    def test_tag_preserved_in_base_pointer(self):
+        from repro.core.pointer import make_base_pointer, payload
+
+        def build(b):
+            a = b.arg_ptr("a")
+            b.ld_idx(a, b.tid(), dtype="i32")
+            return ()
+
+        tagged = make_base_pointer(0x2000, 0x1A2B)
+        _k, _w, _r, requests = run_scalar_kernel(build, initial={0: tagged})
+        assert payload(requests[0].base_pointer) == 0x1A2B
+        # Lane addresses are VAs with the tag stripped.
+        assert requests[0].lane_addrs[0] == 0x2000

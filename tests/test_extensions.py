@@ -1,0 +1,196 @@
+"""Tests for the discussion-section extensions (§5.5.2, §5.7, §6.3).
+
+* SIGNAL_HOST reporting through the SVM mailbox;
+* PRECISE reporting aborting the kernel;
+* §6.3 buffer-ID merging under a tight ID budget;
+* the future-work fine-grained heap protection.
+"""
+
+import pytest
+
+from repro import (
+    GpuSession,
+    KernelBuilder,
+    ReportPolicy,
+    ShieldConfig,
+    nvidia_config,
+)
+from repro.core.pointer import PointerType, decode
+
+
+def oob_kernel():
+    b = KernelBuilder("oob")
+    a = b.arg_ptr("A")
+    idx = b.arg_scalar("idx")
+    p = b.setp("eq", b.gtid(), 0)
+    with b.if_(p):
+        j = b.ld_idx(a, 0, dtype="i32")
+        b.st_idx(a, b.add(idx, b.mul(j, 0)), 0xBAD, dtype="i32")
+    return b.build()
+
+
+class TestSignalHost:
+    def test_mailbox_receives_violations(self):
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True,
+                                policy=ReportPolicy.SIGNAL_HOST))
+        assert session.driver.mailbox is not None
+        a = session.driver.malloc(64, name="A")
+        session.run(oob_kernel(), {"A": a, "idx": 1000}, 1, 32)
+        records = session.driver.mailbox.host_poll()
+        assert records
+        assert records[0].is_store
+
+    def test_mailbox_absent_under_log_policy(self):
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        assert session.driver.mailbox is None
+
+
+class TestPrecisePolicy:
+    def test_kernel_aborts_on_violation(self):
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, policy=ReportPolicy.PRECISE))
+        a = session.driver.malloc(64, name="A")
+        launch = session.driver.launch(oob_kernel(), {"A": a, "idx": 1000},
+                                       1, 32)
+        result = session.gpu.run(launch)
+        assert result.aborted
+        assert "bounds" in result.error
+
+    def test_clean_kernel_unaffected(self):
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, policy=ReportPolicy.PRECISE))
+        a = session.driver.malloc(64, name="A")
+        result, viol = session.run(oob_kernel(), {"A": a, "idx": 3}, 1, 32)
+        assert result.ok and not viol
+
+
+class TestIdMerging:
+    """§6.3: adjacent buffers share an ID when the budget is tight."""
+
+    def _many_buffer_kernel(self, n_ptrs):
+        b = KernelBuilder("many")
+        ptrs = [b.arg_ptr(f"p{i}") for i in range(n_ptrs)]
+        first = b.setp("eq", b.gtid(), 0)
+        with b.if_(first):
+            for p in ptrs:
+                j = b.ld_idx(p, 0, dtype="i32")
+                b.st_idx(p, b.mul(j, 0), 1, dtype="i32")
+        return b.build()
+
+    def test_ids_shared_under_budget(self):
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, id_budget=4))
+        bufs = {f"p{i}": session.driver.malloc(64, name=f"p{i}")
+                for i in range(6)}
+        launch = session.driver.launch(self._many_buffer_kernel(6),
+                                       bufs, 1, 32)
+        payloads = {decode(launch.arg_values[f"p{i}"]).payload
+                    for i in range(6)}
+        assert len(payloads) <= 3   # budget 4 = groups + heap
+
+    def test_merged_runs_stay_clean(self):
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, id_budget=4))
+        bufs = {f"p{i}": session.driver.malloc(64, name=f"p{i}")
+                for i in range(6)}
+        result, viol = session.run(self._many_buffer_kernel(6), bufs, 1, 32)
+        assert result.ok
+        assert viol == []   # merging must not create false positives
+
+    def test_merging_preserves_outer_isolation(self):
+        """OOB past the merged group is still detected."""
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, id_budget=3))
+        bufs = {f"p{i}": session.driver.malloc(64, name=f"p{i}")
+                for i in range(4)}
+        kb = KernelBuilder("escape")
+        p0 = kb.arg_ptr("p0")
+        for i in range(1, 4):
+            kb.arg_ptr(f"p{i}")
+        first = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(first):
+            j = kb.ld_idx(p0, 0, dtype="i32")
+            kb.st_idx(p0, kb.add(1 << 14, kb.mul(j, 0)), 1, dtype="i32")
+        _res, viol = session.run(kb.build(), bufs, 1, 32)
+        assert viol
+
+    def test_no_merging_with_full_budget(self):
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        bufs = {f"p{i}": session.driver.malloc(64, name=f"p{i}")
+                for i in range(6)}
+        launch = session.driver.launch(self._many_buffer_kernel(6),
+                                       bufs, 1, 32)
+        payloads = {decode(launch.arg_values[f"p{i}"]).payload
+                    for i in range(6)}
+        assert len(payloads) == 6
+
+
+class TestFineGrainedHeap:
+    """Future work (§5.7): per-allocation heap protection."""
+
+    def _heap_kernel(self, escape):
+        b = KernelBuilder("heap_fine")
+        out = b.arg_ptr("out")
+        first = b.setp("eq", b.gtid(), 0)
+        with b.if_(first):
+            hp = b.malloc(64)
+            b.st(hp, escape, 0xBAD, dtype="i32")
+            b.st_idx(out, 0, 1, dtype="i32")
+        return b.build()
+
+    def _session(self, fine: bool):
+        return GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, fine_grained_heap=fine))
+
+    def test_intra_heap_overflow_missed_without(self):
+        """Coarse mode: one allocation overflowing into another heap
+        allocation stays inside the whole-heap region -> undetected."""
+        session = self._session(fine=False)
+        out = session.driver.malloc(64, name="out")
+        _res, viol = session.run(self._heap_kernel(escape=256),
+                                 {"out": out}, 1, 32)
+        assert viol == []   # the paper's acknowledged limitation
+
+    def test_intra_heap_overflow_caught_with(self):
+        session = self._session(fine=True)
+        out = session.driver.malloc(64, name="out")
+        _res, viol = session.run(self._heap_kernel(escape=256),
+                                 {"out": out}, 1, 32)
+        assert any(v.reason == "out-of-bounds" for v in viol)
+
+    def test_in_bounds_heap_access_clean(self):
+        session = self._session(fine=True)
+        out = session.driver.malloc(64, name="out")
+        _res, viol = session.run(self._heap_kernel(escape=60), {"out": out},
+                                 1, 32)
+        assert viol == []
+
+    def test_pool_exhaustion_falls_back_to_region(self):
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True, fine_grained_heap=True,
+                                heap_id_pool=1))
+        out = session.driver.malloc(256, name="out")
+        b = KernelBuilder("two_allocs")
+        outp = b.arg_ptr("out")
+        first = b.setp("eq", b.gtid(), 0)
+        with b.if_(first):
+            h1 = b.malloc(64)
+            h2 = b.malloc(64)   # pool dry -> whole-heap ID
+            b.st(h1, 0, 1, dtype="i32")
+            b.st(h2, 4096, 2, dtype="i32")   # inside heap, outside alloc
+            b.st_idx(outp, 0, 1, dtype="i32")
+        _res, viol = session.run(b.build(), {"out": out}, 1, 32)
+        # h2 carries the coarse whole-heap ID: the far write is missed,
+        # but no false positives either.
+        assert viol == []

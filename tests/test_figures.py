@@ -1,0 +1,76 @@
+"""Integration tests for the figure-regeneration engine (tiny scales)."""
+
+import pytest
+
+from repro.analysis import figures
+from repro.analysis.results import geomean
+from repro.gpu.config import intel_config, nvidia_config
+
+SMALL_NVIDIA = nvidia_config(num_cores=4)
+SMALL_INTEL = intel_config(num_cores=4)
+
+
+class TestStaticArtifacts:
+    def test_figure1(self):
+        data = figures.figure1()
+        assert data["summary"]["benchmarks"] == 145
+        text = figures.render_figure1(data)
+        assert "rodinia" in text
+
+    def test_figure11(self):
+        data = figures.figure11()
+        assert len(data) == 20
+        assert all(v > 0 for v in data.values())
+        assert "1425" in figures.render_figure11(data)
+
+    def test_table3(self):
+        rows = figures.table3()
+        assert rows[-1].name == "Total"
+        text = figures.render_table3(rows)
+        assert "14.2KB" in text
+
+
+class TestSimulatedFigures:
+    def test_figure14_small(self):
+        result = figures.figure14(benchmarks=["vectoradd", "nw"],
+                                  config=SMALL_NVIDIA)
+        assert set(result.per_benchmark) == {"vectoradd", "nw"}
+        for vals in result.per_benchmark.values():
+            assert 0.9 < vals["L1:1,L2:3"] < 1.3
+        assert "GEOMEAN" in figures.render_figure14(result)
+
+    def test_figure15_small(self):
+        data = figures.figure15(benchmarks=["ScalarProd"],
+                                entries_sweep=(1, 4),
+                                config=SMALL_NVIDIA)
+        assert data["ScalarProd"][4] >= data["ScalarProd"][1]
+
+    def test_figure16_small(self):
+        data = figures.figure16(benchmarks=["nn"], entries_sweep=(1, 4),
+                                config=SMALL_INTEL)
+        # Type 3 disabled for the sweep: the RCache is really exercised.
+        assert 0.0 <= data["nn"][1] <= 1.0
+
+    def test_figure17_small(self):
+        result = figures.figure17(benchmarks=["bfs-dtc"],
+                                  config=SMALL_NVIDIA)
+        assert 0 < result.reduction["bfs-dtc"] < 100
+        norms = result.normalized["bfs-dtc"]
+        assert norms["L1:1,L2:5+static"] <= norms["L1:1,L2:5"] + 0.02
+
+    def test_figure18_small(self):
+        data = figures.figure18([("bfs", "kmeans")], config=SMALL_INTEL)
+        vals = data["bfs_kmeans"]
+        assert 0.9 < vals["inter_core"] < 1.2
+        assert 0.9 < vals["intra_core"] < 1.2
+
+    def test_figure19_small(self):
+        data = figures.figure19(benchmarks=["lud"], config=SMALL_NVIDIA)
+        v = data["lud"]
+        assert v["cuda-memcheck"] > v["clarmor"] > v["gpushield"] - 0.01
+        assert v["gpushield"] < 1.1
+
+    def test_rcache_render(self):
+        data = {"x": {1: 0.5, 4: 1.0}}
+        text = figures.render_rcache_sensitivity(data, "T")
+        assert "1-entry" in text and "4-entry" in text

@@ -1,0 +1,113 @@
+"""Tests for the run harness and result records."""
+
+import pytest
+
+from repro import ShieldConfig, nvidia_config
+from repro.analysis.harness import WorkloadRunner, run_benchmark, run_workload
+from repro.analysis.results import RunRecord, geomean, load_records, save_records
+from repro.workloads.suite import get_benchmark
+from repro.workloads.templates import gather, streaming
+
+CFG = nvidia_config(num_cores=2)
+
+
+class TestRunWorkload:
+    def test_record_fields(self):
+        record = run_workload(streaming("s", n=128, wg_size=64), CFG,
+                              None, "base")
+        assert record.benchmark == "s"
+        assert record.config == "base"
+        assert record.cycles > 0
+        assert record.launches == 1
+        assert not record.aborted
+        assert record.violations == 0
+
+    def test_repeats_accumulate(self):
+        once = run_workload(streaming("s", n=128, wg_size=64), CFG)
+        wl = streaming("s", n=128, wg_size=64)
+        wl.repeats = 3
+        thrice = run_workload(wl, CFG)
+        assert thrice.launches == 3
+        # Later launches run warm (caches/TLBs already filled), so cycles
+        # grow sub-linearly; instruction counts are exact.
+        assert thrice.instructions == 3 * once.instructions
+        assert thrice.cycles > once.cycles
+
+    def test_shield_stats_populated(self):
+        record = run_workload(gather("g", n=128, wg_size=64, data_len=128),
+                              CFG, ShieldConfig(enabled=True), "shield")
+        assert 0.0 <= record.l1_rcache_hit_rate <= 1.0
+        assert record.check_reduction_percent > 0
+
+    def test_violation_raises_by_default(self):
+        # data_len larger than the actual data buffer -> OOB indices.
+        wl = gather("bad", n=128, wg_size=64, data_len=128)
+        # Corrupt the index init to point far outside.
+        bad_spec = wl.buffers[0].__class__(
+            name="idx", nbytes=128 * 4, init="index:data:100000",
+            read_only=True)
+        wl.buffers[0] = bad_spec
+        with pytest.raises(AssertionError):
+            run_workload(wl, CFG, ShieldConfig(enabled=True))
+
+    def test_allow_violations_flag(self):
+        wl = gather("bad", n=128, wg_size=64, data_len=128)
+        wl.buffers[0] = wl.buffers[0].__class__(
+            name="idx", nbytes=128 * 4, init="index:data:100000",
+            read_only=True)
+        record = run_workload(wl, CFG, ShieldConfig(enabled=True),
+                              allow_violations=True)
+        assert record.violations > 0
+
+    def test_run_benchmark_by_def(self):
+        record = run_benchmark(get_benchmark("vectoradd"), CFG)
+        assert record.benchmark == "vectoradd"
+
+
+class TestRunnerHooks:
+    def test_hooks_charge_cycles(self):
+        wl = streaming("s", n=128, wg_size=64)
+        runner = WorkloadRunner(wl, CFG)
+        plain = WorkloadRunner(streaming("s", n=128, wg_size=64), CFG).run()
+        hooked = runner.run(pre_launch=lambda r, _: 1000,
+                            post_launch=lambda r, _: 500)
+        assert hooked.cycles == plain.cycles + 1500
+
+
+class TestRecords:
+    def test_normalized(self):
+        base = RunRecord(benchmark="x", config="base", cycles=100)
+        other = RunRecord(benchmark="x", config="s", cycles=150)
+        assert other.normalized_to(base) == pytest.approx(1.5)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([2.0, 0.0]) == pytest.approx(2.0)   # zeros skipped
+
+    def test_save_load_roundtrip(self, tmp_path):
+        records = [RunRecord(benchmark="a", config="c", cycles=5,
+                             extra={"k": 1.0})]
+        path = tmp_path / "r.json"
+        save_records(records, str(path))
+        loaded = load_records(str(path))
+        assert loaded[0].benchmark == "a"
+        assert loaded[0].extra == {"k": 1.0}
+
+
+class TestInitKinds:
+    def test_bad_init_rejected(self):
+        from repro.workloads.templates import BufferSpec, Workload
+        wl = streaming("s", n=128, wg_size=64)
+        wl.buffers[0] = BufferSpec(name="in0", nbytes=512, init="mystery")
+        with pytest.raises(ValueError):
+            run_workload(wl, CFG)
+
+    def test_iota_and_csr_inits(self):
+        from repro.workloads.templates import BufferSpec
+        wl = streaming("s", n=128, wg_size=64)
+        wl.buffers[0] = BufferSpec(name="in0", nbytes=512, init="iota")
+        runner = WorkloadRunner(wl, CFG)
+        blob = runner.session.driver.read(runner.buffers["in0"], 16)
+        import struct
+        assert struct.unpack("<4i", blob) == (0, 1, 2, 3)

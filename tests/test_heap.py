@@ -1,0 +1,107 @@
+"""Tests for the device heap (paper §5.2.1)."""
+
+import pytest
+
+from repro.driver.allocator import MemoryRegions
+from repro.driver.heap import DEFAULT_HEAP_LIMIT, DeviceHeap
+from repro.errors import AllocationError
+from repro.gpu.memory import AddressSpace, PhysicalMemory
+
+
+def make(limit=1 << 20):
+    space = AddressSpace(PhysicalMemory(), page_size=64 * 1024)
+    return DeviceHeap(space, MemoryRegions().heap, limit=limit)
+
+
+class TestLimits:
+    def test_default_limit(self):
+        space = AddressSpace(PhysicalMemory(), page_size=64 * 1024)
+        heap = DeviceHeap(space, 0x6000_0000_0000)
+        assert heap.limit == DEFAULT_HEAP_LIMIT
+
+    def test_set_limit_before_use(self):
+        heap = make()
+        heap.set_limit(2 << 20)
+        assert heap.limit == 2 << 20
+
+    def test_set_limit_after_use_rejected(self):
+        """cudaDeviceSetLimit must precede context use (§5.2.1)."""
+        heap = make()
+        heap.device_malloc(16)
+        with pytest.raises(AllocationError):
+            heap.set_limit(2 << 20)
+
+
+class TestDeviceMalloc:
+    def test_returns_heap_addresses(self):
+        heap = make()
+        addr = heap.device_malloc(64)
+        assert heap.base <= addr < heap.base + heap.limit
+
+    def test_alignment(self):
+        heap = make()
+        heap.device_malloc(10)
+        addr = heap.device_malloc(10)
+        assert addr % 16 == 0
+
+    def test_no_overlap(self):
+        heap = make()
+        a = heap.device_malloc(100)
+        b = heap.device_malloc(100)
+        assert b >= a + 100
+
+    def test_exhaustion(self):
+        heap = make(limit=1024)
+        heap.device_malloc(1000)
+        with pytest.raises(AllocationError):
+            heap.device_malloc(100)
+
+    def test_bad_size(self):
+        with pytest.raises(AllocationError):
+            make().device_malloc(0)
+
+    def test_maps_pages(self):
+        heap = make()
+        heap.device_malloc(16)
+        assert heap.space.is_mapped(heap.base)
+
+    def test_stats(self):
+        heap = make()
+        heap.device_malloc(100)
+        heap.device_malloc(28)
+        assert heap.stats.allocations == 2
+        assert heap.stats.bytes_allocated == 128
+
+
+class TestCostModel:
+    """Parallel device mallocs serialise (paper fn. 2: 4.9-63.7x)."""
+
+    def test_more_lanes_cost_more(self):
+        heap = make()
+        assert heap.alloc_cost_cycles(32) > heap.alloc_cost_cycles(1)
+
+    def test_resident_warps_add_contention(self):
+        heap = make()
+        assert (heap.alloc_cost_cycles(8, resident_warps=16)
+                > heap.alloc_cost_cycles(8, resident_warps=1))
+
+    def test_single_lane_base_cost(self):
+        heap = make()
+        cost = heap.alloc_cost_cycles(1, resident_warps=1)
+        assert cost == DeviceHeap.BASE_COST + DeviceHeap.PER_LANE_COST
+
+    def test_grid_contention_scales(self):
+        """Paper fn. 2: slowdown grows near-linearly with grid size."""
+        heap = make()
+        small = heap.alloc_cost_cycles(32, grid_warps=16)
+        large = heap.alloc_cost_cycles(32, grid_warps=1024)
+        assert large > 5 * small
+
+
+class TestReset:
+    def test_reset_reclaims(self):
+        heap = make(limit=1024)
+        heap.device_malloc(1000)
+        heap.reset()
+        assert heap.device_malloc(1000)   # fits again
+        assert heap.stats.allocations == 1

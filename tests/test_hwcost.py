@@ -1,0 +1,75 @@
+"""Tests for the Table 3 hardware cost model (paper §5.6)."""
+
+import pytest
+
+from repro.core.bcu import BCUConfig
+from repro.core.hwcost import (
+    HardwareCostModel,
+    L1_ENTRY_BITS,
+    L2_DATA_ENTRY_BITS,
+    L2_TAG_ENTRY_BITS,
+    table3,
+)
+
+# Paper Table 3, exact values.
+PAPER = {
+    "Comparators": (0.0, 0.0064, 17.51, 20.41),
+    "L1 RCache": (53.5, 0.0060, 26.40, 22.93),
+    "L2 RCache tag": (112.0, 0.0166, 256.71, 55.39),
+    "L2 RCache data": (744.0, 0.0568, 499.13, 104.63),
+    "Total": (909.5, 0.0858, 799.75, 203.36),
+}
+
+
+class TestEntryWidths:
+    def test_l1_entry_bits(self):
+        # 14b ID + 48b base + 32b size + 1b read-only + 12b kernel ID
+        assert L1_ENTRY_BITS == 107
+
+    def test_l2_split(self):
+        assert L2_TAG_ENTRY_BITS == 14
+        assert L2_DATA_ENTRY_BITS == 93
+
+
+class TestTable3Reproduction:
+    @pytest.mark.parametrize("row_name", list(PAPER))
+    def test_row(self, row_name):
+        rows = {r.name: r for r in table3()}
+        row = rows[row_name]
+        sram, area, leak, dyn = PAPER[row_name]
+        assert row.sram_bytes == pytest.approx(sram, rel=0.01)
+        assert row.area_mm2 == pytest.approx(area, rel=0.01)
+        assert row.leakage_uw == pytest.approx(leak, rel=0.01)
+        assert row.dynamic_mw == pytest.approx(dyn, rel=0.01)
+
+    def test_per_gpu_totals(self):
+        """§5.6: 14.2KB across 16 Nvidia cores, 21.3KB across 24 Intel."""
+        model = HardwareCostModel()
+        assert model.per_gpu_sram_kb(16) == pytest.approx(14.2, rel=0.01)
+        assert model.per_gpu_sram_kb(24) == pytest.approx(21.3, rel=0.01)
+
+
+class TestScaling:
+    def test_larger_l1_costs_more(self):
+        model = HardwareCostModel()
+        assert model.l1_rcache(8).area_mm2 > model.l1_rcache(4).area_mm2
+        assert model.l1_rcache(8).sram_bytes == 2 * model.l1_rcache(4).sram_bytes
+
+    def test_config_driven(self):
+        model = HardwareCostModel()
+        big = model.total(BCUConfig(l1_entries=16, l2_entries=128))
+        default = model.total(BCUConfig())
+        assert big.sram_bytes > default.sram_bytes
+        assert big.leakage_uw > default.leakage_uw
+
+    def test_technology_scaling(self):
+        smaller = HardwareCostModel(tech_nm=22)
+        bigger = HardwareCostModel(tech_nm=45)
+        assert smaller.total().area_mm2 < bigger.total().area_mm2
+
+    def test_clock_scales_dynamic_only(self):
+        slow = HardwareCostModel(clock_ghz=0.5)
+        fast = HardwareCostModel(clock_ghz=1.0)
+        assert slow.total().dynamic_mw < fast.total().dynamic_mw
+        assert slow.total().leakage_uw == pytest.approx(
+            fast.total().leakage_uw)

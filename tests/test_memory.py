@@ -1,0 +1,124 @@
+"""Tests for physical memory and the device address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IllegalAddressError
+from repro.gpu.memory import AddressSpace, PageFlags, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_zero_initialised(self):
+        mem = PhysicalMemory()
+        assert mem.read(0x1234, 8) == b"\x00" * 8
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory()
+        mem.write(0x100, b"hello world")
+        assert mem.read(0x100, 11) == b"hello world"
+
+    def test_cross_chunk_boundary(self):
+        mem = PhysicalMemory()
+        addr = (1 << 16) - 4   # straddles the 64KB chunk boundary
+        mem.write(addr, b"ABCDEFGH")
+        assert mem.read(addr, 8) == b"ABCDEFGH"
+
+    @given(st.integers(0, 1 << 47), st.binary(min_size=1, max_size=256))
+    def test_roundtrip_anywhere(self, addr, data):
+        mem = PhysicalMemory()
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+    def test_typed_accessors(self):
+        mem = PhysicalMemory()
+        mem.write_uint(0, 4, 0xDEADBEEF)
+        assert mem.read_uint(0, 4) == 0xDEADBEEF
+        mem.write_int(8, 4, -123)
+        assert mem.read_int(8, 4) == -123
+        mem.write_f32(16, 1.5)
+        assert mem.read_f32(16) == 1.5
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_int32_roundtrip(self, value):
+        mem = PhysicalMemory()
+        mem.write_int(64, 4, value)
+        assert mem.read_int(64, 4) == value
+
+    def test_fill(self):
+        mem = PhysicalMemory()
+        mem.fill(0x40, 16, 0xAA)
+        assert mem.read(0x40, 16) == b"\xaa" * 16
+
+    def test_traffic_counters(self):
+        mem = PhysicalMemory()
+        mem.write(0, b"x" * 10)
+        mem.read(0, 10)
+        assert mem.bytes_written == 10
+        assert mem.bytes_read == 10
+
+
+class TestAddressSpace:
+    def make(self, page_size=4096):
+        return AddressSpace(PhysicalMemory(), page_size=page_size)
+
+    def test_unmapped_faults(self):
+        space = self.make()
+        with pytest.raises(IllegalAddressError):
+            space.translate(0x5000)
+
+    def test_mapped_translates_identity(self):
+        space = self.make()
+        space.map_range(0x4000, 100)
+        assert space.translate(0x4050) == 0x4050
+
+    def test_page_granularity(self):
+        """Mapping 1 byte makes the whole page accessible — the coarse
+        protection behind Figure 4 case 2."""
+        space = self.make()
+        space.map_range(0x4000, 1)
+        assert space.translate(0x4FFF) == 0x4FFF
+        with pytest.raises(IllegalAddressError):
+            space.translate(0x5000)
+
+    def test_readonly_page_rejects_store(self):
+        space = self.make()
+        space.map_range(0x1000, 10, PageFlags(writable=False))
+        assert space.translate(0x1000, is_store=False) == 0x1000
+        with pytest.raises(IllegalAddressError):
+            space.translate(0x1000, is_store=True)
+
+    def test_inaccessible_page_and_bypass(self):
+        """RBT pages: kernel accesses fault, BCU bypass reads work (§5.4)."""
+        space = self.make()
+        space.map_range(0x8000, 10, PageFlags(accessible=False))
+        with pytest.raises(IllegalAddressError):
+            space.translate(0x8000)
+        assert space.translate(0x8000, bypass_protection=True) == 0x8000
+
+    def test_bypass_still_requires_mapping(self):
+        space = self.make()
+        with pytest.raises(IllegalAddressError):
+            space.translate(0x9000, bypass_protection=True)
+
+    def test_unmap(self):
+        space = self.make()
+        space.map_range(0x2000, 4096)
+        space.unmap_range(0x2000, 4096)
+        with pytest.raises(IllegalAddressError):
+            space.translate(0x2000)
+
+    def test_multi_page_range(self):
+        space = self.make()
+        space.map_range(0x0, 3 * 4096)
+        for page in range(3):
+            assert space.is_mapped(page * 4096)
+        assert not space.is_mapped(3 * 4096)
+
+    def test_power_of_two_page_size_enforced(self):
+        with pytest.raises(ValueError):
+            AddressSpace(PhysicalMemory(), page_size=3000)
+
+    def test_mapped_bytes(self):
+        space = self.make()
+        space.map_range(0, 2 * 4096)
+        assert space.mapped_bytes() == 2 * 4096

@@ -1,0 +1,150 @@
+"""Table 1: memory types and their overflow possibilities.
+
+* local (off-chip): overflow possible natively — Yes
+* shared (on-chip): overflow possible inside the workgroup — Yes
+* global / heap / SVM: overflow possible — Yes (tested extensively in
+  test_native_protection / test_security_coverage)
+* read-only buffers (constant/texture stand-ins): writes rejected — No
+"""
+
+import pytest
+
+from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
+
+
+class TestLocalMemoryNative:
+    def test_local_overflow_corrupts_other_variable(self):
+        """Without GPUShield, writing past v1's region reaches v2."""
+        kb = KernelBuilder("local_native")
+        v1 = kb.local_var("v1", words_per_thread=1)
+        v2 = kb.local_var("v2", words_per_thread=1)
+        out = kb.arg_ptr("out")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            kb.st_local(v2, 0, 7.0)
+            # v1's region is 1 word x 32 threads = 128B, padded to the
+            # 512B allocator slot; word index 4 reaches offset 512 —
+            # exactly v2's base (thread 0's word 0).
+            kb.st_local(v1, 4, 666.0)
+            kb.st_idx(out, 0, kb.ld_local(v2, 0), dtype="f32")
+        kernel = kb.build()
+
+        session = GpuSession(nvidia_config(num_cores=1))
+        out_buf = session.driver.malloc(64)
+        result, _ = session.run(kernel, {"out": out_buf}, 1, 32)
+        assert result.ok
+        assert session.driver.read_f32(out_buf, 0) == 666.0
+
+    def test_local_overflow_blocked_by_shield(self):
+        kb = KernelBuilder("local_shielded")
+        v1 = kb.local_var("v1", words_per_thread=1)
+        v2 = kb.local_var("v2", words_per_thread=1)
+        out = kb.arg_ptr("out")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            kb.st_local(v2, 0, 7.0)
+            kb.st_local(v1, 1, 666.0)
+            kb.st_idx(out, 0, kb.ld_local(v2, 0), dtype="f32")
+        kernel = kb.build()
+
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        out_buf = session.driver.malloc(64)
+        _res, viol = session.run(kernel, {"out": out_buf}, 1, 32)
+        assert viol   # detected
+        assert session.driver.read_f32(out_buf, 0) == 7.0   # v2 intact
+
+
+class TestSharedMemory:
+    def test_shared_overflow_within_workgroup(self):
+        """Shared memory is on-chip and outside GPUShield's coverage:
+        overflows wrap inside the scratchpad (Table 1 'Yes')."""
+        kb = KernelBuilder("shared_ovf")
+        out = kb.arg_ptr("out")
+        kb.shared_mem(64)
+        p = kb.setp("eq", kb.tid(), 0)
+        with kb.if_(p):
+            kb.st_shared(0, 1.5)
+            kb.st_shared(64, 9.5)     # past the 64B reservation: wraps
+            kb.st_idx(out, 0, kb.ld_shared(0, dtype="f32"), dtype="f32")
+        kernel = kb.build()
+
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        out_buf = session.driver.malloc(64)
+        _res, viol = session.run(kernel, {"out": out_buf}, 1, 32)
+        assert viol == []   # not covered by design (§5.2.1)
+        assert session.driver.read_f32(out_buf, 0) == 9.5
+
+
+class TestReadOnlyBuffers:
+    """Constant/texture memory stand-in: read-only regions reject writes."""
+
+    def _kernel(self):
+        kb = KernelBuilder("ro")
+        c = kb.arg_ptr("c", read_only=True)
+        out = kb.arg_ptr("out")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            j = kb.ld_idx(c, 0, dtype="i32")
+            kb.st_idx(c, kb.mul(j, 0), 1, dtype="i32")   # illegal write
+            kb.st_idx(out, 0, j, dtype="i32")
+        return kb.build()
+
+    def test_shield_flags_readonly_store(self):
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        const = session.driver.malloc(64, name="c", read_only=True)
+        out = session.driver.malloc(64, name="out")
+        session.driver.memory.write_uint(const.va, 4, 42)
+        _res, viol = session.run(self._kernel(), {"c": const, "out": out},
+                                 1, 32)
+        assert any(v.reason == "read-only" for v in viol)
+        assert session.driver.memory.read_uint(const.va, 4) == 42
+
+    def test_native_page_protection_aborts_readonly_store(self):
+        session = GpuSession(nvidia_config(num_cores=1))
+        # Native protection is page-granular: the read-only buffer must
+        # own its whole 2MB page, or a later writable neighbour on the
+        # same page re-maps it writable (sub-page RO is exactly what the
+        # hardware cannot express — GPUShield can, see the test above).
+        page = session.config.page_size
+        const = session.driver.malloc(page, name="c", read_only=True)
+        out = session.driver.malloc(64, name="out")
+        result, _ = session.run(self._kernel(), {"c": const, "out": out},
+                                1, 32)
+        assert result.aborted
+
+
+class TestHeapType:
+    def test_heap_allocation_usable(self):
+        kb = KernelBuilder("heap_use")
+        out = kb.arg_ptr("out")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            hp = kb.malloc(64)
+            kb.st(hp, 0, 1234, dtype="i32")
+            kb.st_idx(out, 0, kb.ld(hp, 0, dtype="i32"), dtype="i32")
+        kernel = kb.build()
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        out_buf = session.driver.malloc(64)
+        _res, viol = session.run(kernel, {"out": out_buf}, 1, 32)
+        assert viol == []
+        assert session.driver.read_i32(out_buf, 0) == 1234
+
+    def test_per_lane_mallocs_distinct(self):
+        kb = KernelBuilder("heap_lanes")
+        out = kb.arg_ptr("out")
+        hp = kb.malloc(16)
+        kb.st(hp, 0, kb.gtid(), dtype="i32")
+        kb.st_idx(out, kb.gtid(), kb.ld(hp, 0, dtype="i32"), dtype="i32")
+        kernel = kb.build()
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        out_buf = session.driver.malloc(32 * 4)
+        _res, viol = session.run(kernel, {"out": out_buf}, 1, 32)
+        assert viol == []
+        import struct
+        values = struct.unpack("<32i", session.driver.read(out_buf, 128))
+        assert list(values) == list(range(32))

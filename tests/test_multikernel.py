@@ -1,0 +1,120 @@
+"""Concurrent multi-kernel execution (paper §6.2, Figure 18)."""
+
+import struct
+
+import pytest
+
+from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
+
+
+def fill_kernel(name, value):
+    b = KernelBuilder(name)
+    out = b.arg_ptr("out")
+    n = b.arg_scalar("n")
+    gtid = b.gtid()
+    p = b.setp("lt", gtid, n)
+    with b.if_(p):
+        # Indirect-ish read keeps the pointer runtime-checked so the
+        # RCache actually gets exercised by both kernels.
+        j = b.ld_idx(out, gtid, dtype="i32")
+        b.st_idx(out, gtid, b.add(j, value), dtype="i32")
+    return b.build()
+
+
+def setup_pair(mode, shield=True, num_cores=4):
+    session = GpuSession(nvidia_config(num_cores=num_cores),
+                         shield=ShieldConfig(enabled=True) if shield
+                         else None)
+    n = 128
+    buf_a = session.driver.malloc(n * 4, name="a")
+    buf_b = session.driver.malloc(n * 4, name="b")
+    la = session.driver.launch(fill_kernel("ka", 111),
+                               {"out": buf_a, "n": n}, 2, 64)
+    lb = session.driver.launch(fill_kernel("kb", 222),
+                               {"out": buf_b, "n": n}, 2, 64)
+    result, viol = session.run_pair([la, lb], mode=mode)
+    return session, buf_a, buf_b, result, viol, n
+
+
+def read_i32s(session, buf, count):
+    return list(struct.unpack(f"<{count}i",
+                              session.driver.read(buf, count * 4)))
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["inter_core", "intra_core"])
+    def test_both_kernels_complete_correctly(self, mode):
+        session, a, b, result, viol, n = setup_pair(mode)
+        assert result.ok
+        assert viol == []
+        assert read_i32s(session, a, n) == [111] * n
+        assert read_i32s(session, b, n) == [222] * n
+
+    def test_single_mode_rejects_two(self):
+        from repro.errors import LaunchError
+        session = GpuSession(nvidia_config(num_cores=2))
+        buf = session.driver.malloc(256)
+        l1 = session.driver.launch(fill_kernel("k", 1),
+                                   {"out": buf, "n": 64}, 1, 64)
+        l2 = session.driver.launch(fill_kernel("k2", 2),
+                                   {"out": buf, "n": 64}, 1, 64)
+        with pytest.raises(LaunchError):
+            session.gpu.run([l1, l2], mode="single")
+
+    def test_unknown_mode(self):
+        from repro.errors import LaunchError
+        session = GpuSession(nvidia_config(num_cores=2))
+        buf = session.driver.malloc(256)
+        launch = session.driver.launch(fill_kernel("k", 1),
+                                       {"out": buf, "n": 64}, 1, 64)
+        with pytest.raises(LaunchError):
+            session.gpu.run([launch], mode="diagonal")
+
+
+class TestIsolation:
+    def test_kernels_have_distinct_security_contexts(self):
+        session, _a, _b, _result, _viol, _n = setup_pair("intra_core")
+        # Launch contexts carry distinct kernel IDs and keys by design;
+        # validated indirectly by correct results, directly by the driver:
+        assert session.driver._kernel_counter == 2
+
+    @pytest.mark.parametrize("mode", ["inter_core", "intra_core"])
+    def test_no_false_positives_from_sharing(self, mode):
+        """RCache kernel-ID tags prevent cross-kernel metadata mixups."""
+        _session, _a, _b, _result, viol, _n = setup_pair(mode)
+        assert viol == []
+
+    def test_intra_core_oob_attributed_to_right_kernel(self):
+        session = GpuSession(nvidia_config(num_cores=2),
+                             shield=ShieldConfig(enabled=True))
+        n = 64
+        good = session.driver.malloc(n * 4, name="good")
+        bad = session.driver.malloc(n * 4, name="bad")
+
+        b = KernelBuilder("evil")
+        out = b.arg_ptr("out")
+        p = b.setp("eq", b.gtid(), 0)
+        with b.if_(p):
+            j = b.ld_idx(out, 0, dtype="i32")
+            b.st_idx(out, b.add(1 << 16, j), 1, dtype="i32")
+        evil = b.build()
+
+        l_good = session.driver.launch(fill_kernel("good", 5),
+                                       {"out": good, "n": n}, 1, 64)
+        l_evil = session.driver.launch(evil, {"out": bad}, 1, 64)
+        session.gpu.run([l_good, l_evil], mode="intra_core")
+        viol_good = session.driver.finish(l_good)
+        viol_evil = session.driver.finish(l_evil)
+        # The shared log drains on first finish; check attribution by id.
+        all_viol = viol_good + viol_evil
+        assert all_viol
+        assert {v.kernel_id for v in all_viol} == {l_evil.kernel_id}
+
+
+class TestCoreAssignment:
+    def test_inter_core_splits_cores(self):
+        session, *_ = setup_pair("inter_core", num_cores=4)
+        # With 2 workgroups per kernel and 4 cores split 2/2, exactly
+        # four cores saw work.
+        busy = [c for c in session.gpu.cores if c.stats.instructions > 0]
+        assert len(busy) == 4

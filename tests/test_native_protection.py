@@ -1,0 +1,89 @@
+"""The Figure 4 experiment: native (no GPUShield) overflow behaviour.
+
+The paper identifies three regimes for SVM out-of-bounds writes on a
+stock Nvidia GPU:
+
+1. within the 512B alignment slack — suppressed (no side effect);
+2. within the same 2MB page — silently corrupts the neighbour buffer
+   and the corruption is host-observable through SVM;
+3. crossing into an unmapped 2MB page — the kernel aborts with an
+   illegal-memory-access error.
+
+All three must *emerge* from the allocator + page-protection model.
+"""
+
+import pytest
+
+from repro import GpuSession, nvidia_config
+from tests.conftest import build_oob_store
+
+
+@pytest.fixture
+def setup():
+    session = GpuSession(nvidia_config(num_cores=1))
+    a = session.driver.malloc_managed(16 * 4, name="A")
+    b = session.driver.malloc_managed(16 * 4, name="B")
+    return session, a, b
+
+
+class TestCase1Suppressed:
+    def test_write_lands_in_padding(self, setup):
+        session, a, b = setup
+        result, _ = session.run(build_oob_store(0x10), {"A": a}, 1, 32)
+        assert result.ok
+        # No visible side effect on B...
+        assert session.driver.read_i32(b, 0) == 0
+        # ...because the bytes live in A's alignment padding.
+        pad = session.driver.memory.read_int(a.va + 0x40, 4)
+        assert pad == 0xBAD
+
+
+class TestCase2PageCorruption:
+    def test_neighbour_corrupted(self, setup):
+        session, a, b = setup
+        result, _ = session.run(build_oob_store(0x80), {"A": a}, 1, 32)
+        assert result.ok                      # no fault raised!
+        assert session.driver.read_i32(b, 0) == 0xBAD
+
+    def test_corruption_is_host_observable(self, setup):
+        """The SVM property: the host reads the corrupted value directly."""
+        session, a, b = setup
+        session.run(build_oob_store(0x80), {"A": a}, 1, 32)
+        blob = session.driver.read(b, 4)
+        assert int.from_bytes(blob, "little") == 0xBAD
+
+
+class TestCase3Abort:
+    def test_crossing_page_aborts(self, setup):
+        session, a, b = setup
+        result, _ = session.run(build_oob_store(0x80000), {"A": a}, 1, 32)
+        assert result.aborted
+        assert "illegal" in result.error.lower() or "unmapped" in result.error
+
+    def test_neighbour_untouched_after_abort(self, setup):
+        session, a, b = setup
+        session.run(build_oob_store(0x80000), {"A": a}, 1, 32)
+        assert session.driver.read_i32(b, 0) == 0
+
+
+class TestReadSideUndetected:
+    """Native protection cannot catch in-page OOB *reads* either."""
+
+    def test_oob_read_leaks_neighbour(self, setup):
+        from repro import KernelBuilder
+        session, a, b = setup
+        session.driver.write_i32(b, 0, 0x5EC12E7)
+
+        kb = KernelBuilder("leak")
+        ap = kb.arg_ptr("A")
+        out = kb.arg_ptr("out")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            stolen = kb.ld_idx(ap, 0x80, dtype="i32")   # reads B[0]
+            kb.st_idx(out, 0, stolen, dtype="i32")
+        leak = kb.build()
+
+        out_buf = session.driver.malloc_managed(64, name="out")
+        result, _ = session.run(leak, {"A": a, "out": out_buf}, 1, 32)
+        assert result.ok
+        assert session.driver.read_i32(out_buf, 0) == 0x5EC12E7

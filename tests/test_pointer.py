@@ -1,0 +1,112 @@
+"""Tests for the tagged-pointer formats (paper Figure 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import pointer
+from repro.core.pointer import (
+    PointerType,
+    decode,
+    encode,
+    make_base_pointer,
+    make_offset_pointer,
+    make_unprotected_pointer,
+    payload,
+    pointer_type,
+    retag,
+    tagged_add,
+    virtual_address,
+)
+
+VAS = st.integers(0, (1 << 48) - 1)
+PAYLOADS = st.integers(0, (1 << 14) - 1)
+
+
+class TestEncodeDecode:
+    @given(VAS, st.sampled_from(list(PointerType)), PAYLOADS)
+    def test_roundtrip(self, va, ptype, pl):
+        raw = encode(va, ptype, pl)
+        tp = decode(raw)
+        assert tp.va == va
+        assert tp.ptype == ptype
+        assert tp.payload == pl
+
+    def test_va_too_large(self):
+        with pytest.raises(ValueError):
+            encode(1 << 48, PointerType.BASE, 0)
+
+    def test_payload_too_large(self):
+        with pytest.raises(ValueError):
+            encode(0, PointerType.BASE, 1 << 14)
+
+    def test_reserved_type_decodes_unprotected(self):
+        raw = (3 << 62) | 0x1234
+        assert decode(raw).ptype is PointerType.UNPROTECTED
+
+
+class TestConstructors:
+    def test_unprotected_has_clean_upper_bits(self):
+        raw = make_unprotected_pointer(0xDEAD0000)
+        assert raw == 0xDEAD0000
+        assert pointer_type(raw) is PointerType.UNPROTECTED
+
+    @given(VAS, PAYLOADS)
+    def test_base_pointer(self, va, enc_id):
+        raw = make_base_pointer(va, enc_id)
+        assert pointer_type(raw) is PointerType.BASE
+        assert payload(raw) == enc_id
+        assert virtual_address(raw) == va
+
+    def test_offset_pointer(self):
+        raw = make_offset_pointer(0x1000, 12)
+        tp = decode(raw)
+        assert tp.ptype is PointerType.OFFSET_OPT
+        assert tp.payload == 12
+
+    def test_offset_pointer_rejects_bad_log2(self):
+        with pytest.raises(ValueError):
+            make_offset_pointer(0, -1)
+
+
+class TestTaggedArithmetic:
+    @given(VAS, PAYLOADS, st.integers(-(1 << 47), (1 << 47) - 1))
+    def test_preserves_metadata(self, va, enc_id, delta):
+        raw = make_base_pointer(va, enc_id)
+        moved = tagged_add(raw, delta)
+        assert pointer_type(moved) is PointerType.BASE
+        assert payload(moved) == enc_id
+        assert virtual_address(moved) == (va + delta) % (1 << 48)
+
+    def test_wraps_at_48_bits(self):
+        raw = make_base_pointer((1 << 48) - 1, 7)
+        moved = tagged_add(raw, 1)
+        assert virtual_address(moved) == 0
+        assert payload(moved) == 7
+
+    @given(VAS, st.integers(0, 1 << 20))
+    def test_matches_plain_add_for_untagged(self, va, delta):
+        raw = make_unprotected_pointer(va)
+        assert virtual_address(tagged_add(raw, delta)) == \
+            (va + delta) % (1 << 48)
+
+
+class TestRetag:
+    @given(VAS, PAYLOADS, PAYLOADS)
+    def test_retag_replaces_metadata(self, va, old, new):
+        raw = make_base_pointer(va, old)
+        raw2 = retag(raw, PointerType.OFFSET_OPT, new)
+        tp = decode(raw2)
+        assert tp.va == va
+        assert tp.ptype is PointerType.OFFSET_OPT
+        assert tp.payload == new
+
+
+class TestFieldLayout:
+    def test_type_field_is_top_two_bits(self):
+        raw = make_base_pointer(0, 0)
+        assert raw >> 62 == 1
+
+    def test_payload_occupies_bits_48_to_61(self):
+        raw = make_base_pointer(0, 0x3FFF)
+        assert (raw >> 48) & 0x3FFF == 0x3FFF
+        assert raw & pointer.VA_MASK == 0

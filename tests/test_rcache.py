@@ -1,0 +1,108 @@
+"""Tests for the L1/L2 RCaches (paper §5.5)."""
+
+from repro.core.bounds import Bounds
+from repro.core.rcache import L1RCache, L2RCache, RCacheEntry
+
+import pytest
+
+
+def entry(buffer_id, kernel_id=1, base=0x1000, size=64):
+    return RCacheEntry(buffer_id=buffer_id, kernel_id=kernel_id,
+                       bounds=Bounds(base_addr=base, size=size))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = L1RCache(entries=4)
+        assert cache.lookup(1, 7) is None
+        cache.fill(entry(7))
+        assert cache.lookup(1, 7) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            L1RCache(entries=0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            L1RCache(entries=4, policy="random")
+
+    def test_flush(self):
+        cache = L1RCache(entries=4)
+        cache.fill(entry(1))
+        cache.flush()
+        assert cache.lookup(1, 1) is None
+
+    def test_refill_same_tag_no_evict(self):
+        cache = L1RCache(entries=2)
+        cache.fill(entry(1))
+        cache.fill(entry(2))
+        cache.fill(entry(1, base=0x9000))   # update in place
+        assert cache.lookup(1, 2) is not None
+        assert cache.lookup(1, 1).bounds.base_addr == 0x9000
+
+
+class TestFifoReplacement:
+    def test_evicts_oldest(self):
+        cache = L1RCache(entries=2, policy="fifo")
+        cache.fill(entry(1))
+        cache.fill(entry(2))
+        cache.lookup(1, 1)          # FIFO ignores recency
+        cache.fill(entry(3))        # evicts 1, the oldest insert
+        assert cache.lookup(1, 1) is None
+        assert cache.lookup(1, 2) is not None
+        assert cache.lookup(1, 3) is not None
+
+
+class TestLruReplacement:
+    def test_evicts_coldest(self):
+        cache = L1RCache(entries=2, policy="lru")
+        cache.fill(entry(1))
+        cache.fill(entry(2))
+        cache.lookup(1, 1)          # 1 becomes hot
+        cache.fill(entry(3))        # evicts 2
+        assert cache.lookup(1, 2) is None
+        assert cache.lookup(1, 1) is not None
+
+
+class TestKernelIdTagging:
+    """Intra-core multi-kernel sharing relies on the kernel-ID tag (§6.2)."""
+
+    def test_same_buffer_id_different_kernels(self):
+        cache = L2RCache(entries=4)
+        cache.fill(entry(5, kernel_id=1, base=0x1000))
+        cache.fill(entry(5, kernel_id=2, base=0x2000))
+        assert cache.lookup(1, 5).bounds.base_addr == 0x1000
+        assert cache.lookup(2, 5).bounds.base_addr == 0x2000
+
+    def test_no_cross_kernel_hit(self):
+        cache = L1RCache(entries=4)
+        cache.fill(entry(9, kernel_id=1))
+        assert cache.lookup(2, 9) is None
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = L1RCache(entries=4)
+        cache.fill(entry(1))
+        for _ in range(3):
+            cache.lookup(1, 1)
+        cache.lookup(1, 99)
+        assert cache.stats.hit_rate == pytest.approx(0.75)
+
+    def test_vacuous_hit_rate(self):
+        assert L1RCache().stats.hit_rate == 1.0
+
+    def test_reset(self):
+        cache = L1RCache()
+        cache.lookup(1, 1)
+        cache.stats.reset()
+        assert cache.stats.accesses == 0
+
+
+class TestDefaults:
+    def test_paper_geometry(self):
+        assert L1RCache().capacity == 4
+        assert L1RCache().policy == "fifo"
+        assert L2RCache().capacity == 64

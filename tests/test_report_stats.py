@@ -1,0 +1,106 @@
+"""Tests for reporting helpers, partitioned RCaches, divergence stats."""
+
+import pytest
+
+from repro.analysis import report
+from repro.core.bounds import Bounds
+from repro.core.rcache import L1RCache, RCacheEntry
+
+
+def entry(buffer_id, kernel_id=1):
+    return RCacheEntry(buffer_id=buffer_id, kernel_id=kernel_id,
+                       bounds=Bounds(base_addr=0x1000, size=64))
+
+
+class TestReportHelpers:
+    def test_table_alignment(self):
+        text = report.table("T", ["a", "bb"], [[1, 2.5], [33, 4.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "33" in text and "2.500" in text
+
+    def test_series(self):
+        text = report.series("S", {"x": 1.0, "longer": 2.0}, unit="ms")
+        assert "(ms)" in text
+        assert "longer" in text
+
+    def test_banner(self):
+        text = report.banner("hi")
+        assert text.count("#") >= 10
+
+    def test_bars_linear(self):
+        text = report.bars("B", {"a": 1.0, "b": 2.0}, width=10)
+        a_line = next(l for l in text.splitlines() if l.startswith("  a"))
+        b_line = next(l for l in text.splitlines() if l.startswith("  b"))
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_bars_log_scale_compresses(self):
+        text = report.bars("B", {"small": 1.0, "huge": 1000.0},
+                           width=20, log_scale=True)
+        small = next(l for l in text.splitlines()
+                     if l.startswith("  small"))
+        assert small.count("#") >= 2   # not invisible on the log axis
+
+    def test_bars_empty(self):
+        assert report.bars("B", {}) == "B"
+
+
+class TestPartitionedRCache:
+    def test_partitioned_banks_isolated(self):
+        cache = L1RCache(entries=2, partitioned=True)
+        # Kernel 1 fills its bank completely...
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(2, kernel_id=1))
+        # ...kernel 2's fills must not evict kernel 1's entries.
+        cache.fill(entry(1, kernel_id=2))
+        cache.fill(entry(2, kernel_id=2))
+        assert cache.lookup(1, 1) is not None
+        assert cache.lookup(1, 2) is not None
+        assert cache.lookup(2, 1) is not None
+
+    def test_shared_mode_thrashes(self):
+        cache = L1RCache(entries=2, partitioned=False)
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(2, kernel_id=1))
+        cache.fill(entry(1, kernel_id=2))
+        cache.fill(entry(2, kernel_id=2))
+        assert cache.lookup(1, 1) is None   # evicted by kernel 2
+
+    def test_len_counts_all_banks(self):
+        cache = L1RCache(entries=2, partitioned=True)
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(1, kernel_id=2))
+        assert len(cache) == 2
+
+    def test_flush_clears_all_banks(self):
+        cache = L1RCache(entries=2, partitioned=True)
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(1, kernel_id=2))
+        cache.flush()
+        assert len(cache) == 0
+
+
+class TestDivergenceStats:
+    def _run(self, threshold):
+        from repro import GpuSession, KernelBuilder, nvidia_config
+        session = GpuSession(nvidia_config(num_cores=1))
+        b = KernelBuilder("d")
+        out = b.arg_ptr("out")
+        p = b.setp("lt", b.tid(), threshold)
+        with b.if_(p):
+            b.st_idx(out, b.tid(), 1, dtype="i32")
+        buf = session.driver.malloc(64 * 4)
+        result, _ = session.run(b.build(), {"out": buf}, 1, 64)
+        return result.divergent_branches
+
+    def test_partial_mask_counts(self):
+        # threshold 10: warp 0 splits (lanes 0-9 vs 10-31); warp 1 is
+        # uniformly skipped -> exactly one divergent branch.
+        assert self._run(threshold=10) == 1
+        # threshold 40: warp 0 uniform-taken, warp 1 splits.
+        assert self._run(threshold=40) == 1
+
+    def test_warp_uniform_does_not_count(self):
+        # threshold 32: warp 0 all-taken, warp 1 all-skipped.
+        assert self._run(threshold=32) == 0

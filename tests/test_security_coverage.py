@@ -1,0 +1,234 @@
+"""Security coverage of GPUShield (paper Tables 1 & 4, §5.7, §6.1).
+
+Per memory type: host-allocated buffers are isolated individually, local
+memory per variable, the heap as one region.  Plus the attack scenarios:
+pointer forging, stale-pointer replay, the mind-control-style function-
+pointer overwrite, and the canary-jumping accesses software tools miss.
+"""
+
+import pytest
+
+from repro import (
+    GpuSession,
+    KernelBuilder,
+    ReportPolicy,
+    ShieldConfig,
+    nvidia_config,
+)
+from repro.core.pointer import PointerType, decode, make_base_pointer
+from tests.conftest import build_oob_store
+
+
+def shielded_session(policy=ReportPolicy.LOG):
+    return GpuSession(nvidia_config(num_cores=1),
+                      shield=ShieldConfig(enabled=True, policy=policy))
+
+
+def indirect_store_kernel(name="atk"):
+    """Stores through an attacker-controlled index (defeats static)."""
+    b = KernelBuilder(name)
+    a = b.arg_ptr("A")
+    idx = b.arg_scalar("idx")
+    p = b.setp("eq", b.gtid(), 0)
+    with b.if_(p):
+        j = b.ld_idx(a, 0, dtype="i32")       # makes 'A' runtime-checked
+        b.st_idx(a, b.add(idx, b.mul(j, 0)), 0xBAD, dtype="i32")
+    return b.build()
+
+
+class TestHostBufferIsolation:
+    """Table 4 row 1: isolation guaranteed per each buffer."""
+
+    @pytest.mark.parametrize("offset", [0x10, 0x80, 0x80000])
+    def test_all_figure4_cases_blocked(self, offset):
+        session = shielded_session()
+        a = session.driver.malloc_managed(64, name="A")
+        b = session.driver.malloc_managed(64, name="B")
+        result, viol = session.run(
+            indirect_store_kernel(), {"A": a, "idx": offset}, 1, 32)
+        assert result.ok                       # no abort: logged instead
+        assert any(v.reason == "out-of-bounds" for v in viol)
+        assert session.driver.read_i32(b, 0) == 0   # store dropped
+
+    def test_in_bounds_write_passes(self):
+        session = shielded_session()
+        a = session.driver.malloc_managed(64, name="A")
+        result, viol = session.run(
+            indirect_store_kernel(), {"A": a, "idx": 5}, 1, 32)
+        assert viol == []
+        assert session.driver.read_i32(a, 5) == 0xBAD
+
+    def test_canary_jumping_write_detected(self):
+        """Far OOB that jumps over any canary region (§4.1's blind spot)."""
+        session = shielded_session()
+        a = session.driver.malloc_managed(64, name="A")
+        _result, viol = session.run(
+            indirect_store_kernel(), {"A": a, "idx": 4096}, 1, 32)
+        assert viol
+
+    def test_oob_read_detected_and_zeroed(self):
+        """Illegal *reads* — invisible to canary tools — return zero."""
+        session = shielded_session()
+        a = session.driver.malloc_managed(64, name="A")
+        b = session.driver.malloc_managed(64, name="B")
+        session.driver.write_i32(b, 0, 0x5EC12E7)
+
+        kb = KernelBuilder("leak")
+        ap = kb.arg_ptr("A")
+        out = kb.arg_ptr("out")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            j = kb.ld_idx(ap, 0, dtype="i32")
+            stolen = kb.ld_idx(ap, kb.add(0x80, kb.mul(j, 0)), dtype="i32")
+            kb.st_idx(out, 0, stolen, dtype="i32")
+        out_buf = session.driver.malloc_managed(64, name="out")
+        _res, viol = session.run(kb.build(), {"A": a, "out": out_buf}, 1, 32)
+        assert any(not v.is_store for v in viol)
+        assert session.driver.read_i32(out_buf, 0) == 0   # zero, not B[0]
+
+
+class TestLocalMemoryIsolation:
+    """Table 4 row 2: local variables are separate regions."""
+
+    def test_local_overflow_between_variables_detected(self):
+        kb = KernelBuilder("local_ovf")
+        v1 = kb.local_var("v1", words_per_thread=2)
+        kb.local_var("v2", words_per_thread=2)
+        n = kb.arg_scalar("overshoot")
+        # Index beyond v1's region (which covers all threads' words).
+        kb.st_local(v1, kb.add(2, kb.mul(n, 1)), 7.0)
+        kernel = kb.build()
+
+        session = shielded_session()
+        # overshoot chosen so the word index escapes v1's region
+        _res, viol = session.run(kernel, {"overshoot": 100}, 1, 32)
+        assert viol
+
+    def test_local_within_bounds_ok(self):
+        kb = KernelBuilder("local_ok")
+        v1 = kb.local_var("v1", words_per_thread=4)
+        with kb.loop(4) as w:
+            kb.st_local(v1, w, 1.0)
+        kernel = kb.build()
+        session = shielded_session()
+        _res, viol = session.run(kernel, {}, 1, 32)
+        assert viol == []
+
+
+class TestHeapIsolation:
+    """Table 4 row 3: the heap is one region — isolated from the rest."""
+
+    def test_heap_pointer_cannot_reach_global_buffers(self):
+        kb = KernelBuilder("heap_escape")
+        victim = kb.arg_ptr("victim")
+        escape = kb.arg_scalar("escape")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            hp = kb.malloc(64)
+            kb.st(hp, escape, 0xBAD, dtype="i32")   # offset escapes heap
+            kb.st_idx(victim, 0, 1, dtype="i32")
+        kernel = kb.build()
+
+        session = shielded_session()
+        victim_buf = session.driver.malloc(64, name="victim")
+        # Escape distance: from heap base past its limit.
+        escape = session.driver.heap.limit + 4096
+        _res, viol = session.run(kernel,
+                                 {"victim": victim_buf, "escape": escape},
+                                 1, 32)
+        assert any(v.reason == "out-of-bounds" for v in viol)
+
+    def test_heap_interior_accesses_allowed(self):
+        kb = KernelBuilder("heap_ok")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            hp = kb.malloc(64)
+            kb.st(hp, 16, 7, dtype="i32")
+        session = shielded_session()
+        _res, viol = session.run(kb.build(), {}, 1, 32)
+        assert viol == []
+
+
+class TestPointerForging:
+    """§6.1: forged or replayed pointers fail closed."""
+
+    def test_forged_payload_rejected(self):
+        session = shielded_session()
+        a = session.driver.malloc(64, name="A")
+        launch = session.driver.launch(
+            indirect_store_kernel(), {"A": a, "idx": 5}, 1, 32)
+        # Attacker flips payload bits on the tagged pointer.
+        honest = launch.arg_values["A"]
+        tp = decode(honest)
+        launch.arg_values["A"] = make_base_pointer(tp.va, tp.payload ^ 0x55)
+        launch_result = session.gpu.run(launch)
+        viol = session.driver.finish(launch)
+        assert any(v.reason in ("invalid-id", "out-of-bounds")
+                   for v in viol)
+        assert session.driver.read_i32(a, 5) == 0   # store never landed
+
+    def test_cross_buffer_id_swap_rejected(self):
+        """Retagging A's pointer with B's (encrypted) ID must not grant
+        access to addresses inside A."""
+        kb = KernelBuilder("swap")
+        a = kb.arg_ptr("A")
+        bptr = kb.arg_ptr("B")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            j = kb.ld_idx(bptr, 0, dtype="i32")
+            kb.st_idx(a, kb.mul(j, 0), 0xBAD, dtype="i32")
+        kernel = kb.build()
+
+        session = shielded_session()
+        buf_a = session.driver.malloc(64, name="A")
+        buf_b = session.driver.malloc(64, name="B")
+        launch = session.driver.launch(kernel, {"A": buf_a, "B": buf_b},
+                                       1, 32)
+        pa = decode(launch.arg_values["A"])
+        pb = decode(launch.arg_values["B"])
+        if (pa.ptype is PointerType.BASE
+                and pb.ptype is PointerType.BASE):
+            # Graft B's ID onto A's address: region check must fail.
+            launch.arg_values["A"] = make_base_pointer(pa.va, pb.payload)
+            session.gpu.run(launch)
+            viol = session.driver.finish(launch)
+            assert viol
+
+
+class TestMindControlScenario:
+    """The mind-control attack's setup phase (§5.7): overflow a global
+    buffer to overwrite an adjacent function-pointer table."""
+
+    def _attack(self, shield: bool):
+        kb = KernelBuilder("mindcontrol")
+        weights = kb.arg_ptr("weights")
+        ftable = kb.arg_ptr("ftable")
+        payload_at = kb.arg_scalar("payload_at")
+        p = kb.setp("eq", kb.gtid(), 0)
+        with kb.if_(p):
+            j = kb.ld_idx(weights, 0, dtype="i32")
+            kb.st_idx(weights, kb.add(payload_at, kb.mul(j, 0)),
+                      0x66600000, dtype="i32")
+        kernel = kb.build()
+
+        session = GpuSession(
+            nvidia_config(num_cores=1),
+            shield=ShieldConfig(enabled=True) if shield else None)
+        weights_buf = session.driver.malloc_managed(512, name="weights")
+        ftable_buf = session.driver.malloc_managed(64, name="ftable")
+        session.driver.write_i32(ftable_buf, 0, 0x1000)  # benign handler
+        offset = (ftable_buf.va - weights_buf.va) // 4
+        _res, viol = session.run(
+            kernel, {"weights": weights_buf, "ftable": ftable_buf,
+                     "payload_at": offset}, 1, 32)
+        return session.driver.read_i32(ftable_buf, 0), viol
+
+    def test_attack_succeeds_without_shield(self):
+        fptr, viol = self._attack(shield=False)
+        assert fptr == 0x66600000   # hijacked
+        assert viol == []
+
+    def test_attack_blocked_with_shield(self):
+        fptr, viol = self._attack(shield=True)
+        assert fptr == 0x1000       # function pointer intact
+        assert viol

@@ -1,0 +1,128 @@
+"""Property-based soundness of the static bounds analysis.
+
+The critical invariant of §5.3: if the compiler marks a pointer Type 1
+(no runtime checking), then NO execution of the kernel may access that
+buffer out of bounds.  We generate random affine kernels, run the
+analysis, and cross-check against both (a) a brute-force oracle over all
+threads and (b) actual execution with an oracle memory probe.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.dataflow import LaunchBounds
+from repro.compiler.static_bounds import StaticBoundsChecker
+from repro.compiler.bat import AccessVerdict
+from repro.isa.builder import KernelBuilder
+
+
+@st.composite
+def affine_kernel_case(draw):
+    """A kernel whose single store offset is alpha*gtid + beta (bytes),
+    wrapped through a random chain of interval-preserving ops."""
+    alpha = draw(st.integers(0, 8))
+    beta = draw(st.integers(-64, 256))
+    clamp = draw(st.one_of(st.none(), st.integers(1, 512)))
+    workgroups = draw(st.integers(1, 4))
+    wg_size = draw(st.sampled_from([32, 64]))
+    buffer_size = draw(st.integers(16, 4096))
+    return alpha, beta, clamp, workgroups, wg_size, buffer_size
+
+
+def build_case(alpha, beta, clamp):
+    b = KernelBuilder("prop")
+    a = b.arg_ptr("a")
+    gtid = b.gtid()
+    idx = b.add(b.mul(gtid, alpha), beta)
+    if clamp is not None:
+        idx = b.min_(idx, clamp)
+        idx = b.max_(idx, 0)
+    b.st(a, idx, 1, dtype="i32")
+    return b.build()
+
+
+def oracle_offsets(alpha, beta, clamp, total_threads):
+    for gtid in range(total_threads):
+        off = alpha * gtid + beta
+        if clamp is not None:
+            off = max(min(off, clamp), 0)
+        yield off
+
+
+class TestSoundness:
+    @given(affine_kernel_case())
+    @settings(max_examples=150, deadline=None)
+    def test_safe_verdict_implies_no_oob(self, case):
+        alpha, beta, clamp, workgroups, wg_size, buffer_size = case
+        kernel = build_case(alpha, beta, clamp)
+        bounds = LaunchBounds(workgroups=workgroups, workgroup_size=wg_size)
+        bat = StaticBoundsChecker().analyze(kernel, bounds,
+                                            {"a": buffer_size})
+        total = workgroups * wg_size
+        any_oob = any(off < 0 or off + 4 > buffer_size
+                      for off in oracle_offsets(alpha, beta, clamp, total))
+        if bat.pointer_safe["a"]:
+            assert not any_oob, (
+                "analysis claimed safety but the oracle found an OOB "
+                f"offset: {case}")
+
+    @given(affine_kernel_case())
+    @settings(max_examples=60, deadline=None)
+    def test_verdicts_complete(self, case):
+        """Affine chains always get a definite (non-UNKNOWN) verdict."""
+        alpha, beta, clamp, workgroups, wg_size, buffer_size = case
+        kernel = build_case(alpha, beta, clamp)
+        bounds = LaunchBounds(workgroups=workgroups, workgroup_size=wg_size)
+        bat = StaticBoundsChecker().analyze(kernel, bounds,
+                                            {"a": buffer_size})
+        assert bat.rows[0].verdict in (AccessVerdict.NO, AccessVerdict.YES)
+
+    @given(affine_kernel_case())
+    @settings(max_examples=30, deadline=None)
+    def test_interval_covers_oracle(self, case):
+        """The computed interval must contain every realised offset."""
+        alpha, beta, clamp, workgroups, wg_size, buffer_size = case
+        kernel = build_case(alpha, beta, clamp)
+        from repro.compiler.lowering import lower_kernel
+        from repro.compiler.dataflow import analyze_function
+        bounds = LaunchBounds(workgroups=workgroups, workgroup_size=wg_size)
+        interval = analyze_function(lower_kernel(kernel), bounds)[0]
+        assert interval is not None
+        lo, hi = interval
+        total = workgroups * wg_size
+        for off in oracle_offsets(alpha, beta, clamp, total):
+            assert lo <= off <= hi
+
+
+class TestRuntimeAgreement:
+    """Execute analysed kernels: Type-1 pointers never trip the BCU when
+    checking is forced on anyway (defence in depth against analysis bugs)."""
+
+    @given(affine_kernel_case())
+    @settings(max_examples=15, deadline=None)
+    def test_forced_runtime_check_agrees(self, case):
+        from repro import GpuSession, GPUShield, ShieldConfig, nvidia_config
+        from repro.driver.driver import GpuDriver
+        from repro.gpu.gpu import GPU
+
+        alpha, beta, clamp, workgroups, wg_size, buffer_size = case
+        if wg_size != 32:
+            wg_size = 32   # keep runtime small
+        workgroups = min(workgroups, 2)
+        kernel = build_case(alpha, beta, clamp)
+
+        bounds = LaunchBounds(workgroups=workgroups, workgroup_size=wg_size)
+        bat = StaticBoundsChecker().analyze(kernel, bounds,
+                                            {"a": buffer_size})
+        if not bat.pointer_safe["a"]:
+            return   # only testing the claimed-safe side
+
+        # Force runtime checking (disable static filtering) and verify the
+        # BCU agrees there is nothing to report.
+        shield = GPUShield(ShieldConfig(enabled=True, static_analysis=False))
+        driver = GpuDriver(nvidia_config(num_cores=1), shield=shield)
+        gpu = GPU(driver)
+        buf = driver.malloc(buffer_size)
+        launch = driver.launch(kernel, {"a": buf}, workgroups, wg_size)
+        gpu.run(launch)
+        violations = driver.finish(launch)
+        assert violations == []

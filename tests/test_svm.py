@@ -1,0 +1,52 @@
+"""Tests for the SVM mailbox and host-visible memory semantics."""
+
+import pytest
+
+from repro.core.violations import ViolationRecord
+from repro.driver.allocator import DeviceAllocator
+from repro.driver.svm import SvmMailbox
+from repro.gpu.memory import AddressSpace, PhysicalMemory
+
+
+def make_mailbox(capacity=4):
+    mem = PhysicalMemory()
+    space = AddressSpace(mem, page_size=4096)
+    allocator = DeviceAllocator(mem, space)
+    return SvmMailbox(allocator, capacity=capacity), mem
+
+
+def record(i):
+    return ViolationRecord(kernel_id=1, buffer_id=i, lo=i * 16,
+                           hi=i * 16 + 3, is_store=True, reason="x",
+                           cycle=i)
+
+
+class TestMailbox:
+    def test_empty_poll(self):
+        mailbox, _ = make_mailbox()
+        assert mailbox.host_poll() == []
+
+    def test_append_then_poll(self):
+        mailbox, _ = make_mailbox()
+        mailbox.device_append(record(1).pack())
+        mailbox.device_append(record(2).pack())
+        polled = mailbox.host_poll()
+        assert [r.buffer_id for r in polled] == [1, 2]
+
+    def test_ring_wraps_keeping_latest(self):
+        mailbox, _ = make_mailbox(capacity=3)
+        for i in range(5):
+            mailbox.device_append(record(i).pack())
+        polled = mailbox.host_poll()
+        assert [r.buffer_id for r in polled] == [2, 3, 4]
+
+    def test_backing_buffer_is_svm(self):
+        mailbox, _ = make_mailbox()
+        assert mailbox.buffer.svm
+
+    def test_records_live_in_shared_memory(self):
+        """The host reads the same physical bytes the device wrote."""
+        mailbox, mem = make_mailbox()
+        mailbox.device_append(record(7).pack())
+        raw = mem.read(mailbox.buffer.va + 8, ViolationRecord.wire_size())
+        assert ViolationRecord.unpack(raw).buffer_id == 7

@@ -1,0 +1,120 @@
+"""Tests for compiler-inserted software bounds checks (§5.7 fallback)."""
+
+import pytest
+
+from repro import GpuSession, KernelBuilder, nvidia_config
+from repro.analysis.harness import run_workload
+from repro.compiler.dataflow import LaunchBounds
+from repro.compiler.static_bounds import StaticBoundsChecker
+from repro.compiler.swinsert import (
+    guarded_access_count,
+    insert_software_checks,
+    size_param_name,
+    transform_workload,
+)
+from repro.workloads.templates import gather, streaming
+
+CFG = nvidia_config(num_cores=2)
+
+
+def gather_kernel():
+    b = KernelBuilder("g")
+    idx = b.arg_ptr("idx", read_only=True)
+    data = b.arg_ptr("data", read_only=True)
+    out = b.arg_ptr("out")
+    n = b.arg_scalar("n")
+    gtid = b.gtid()
+    p = b.setp("lt", gtid, n)
+    with b.if_(p):
+        j = b.ld_idx(idx, gtid, dtype="i32")
+        b.st_idx(out, gtid, b.ld_idx(data, j, dtype="f32"), dtype="f32")
+    return b.build()
+
+
+class TestInsertion:
+    def test_all_guarded_without_bat(self):
+        kernel = insert_software_checks(gather_kernel(), bat=None)
+        assert guarded_access_count(kernel) == 3
+        names = {p.name for p in kernel.params}
+        assert size_param_name("data") in names
+        assert size_param_name("idx") in names
+
+    def test_bat_filters_safe_accesses(self):
+        base = gather_kernel()
+        bat = StaticBoundsChecker().analyze(
+            base, LaunchBounds(workgroups=4, workgroup_size=64,
+                               scalar_args={"n": 256}),
+            {"idx": 1024, "data": 1024, "out": 1024})
+        kernel = insert_software_checks(base, bat)
+        # idx and out accesses are provably safe; only data's indirect
+        # load keeps its guard.
+        assert guarded_access_count(kernel) == 1
+
+    def test_kernel_still_validates(self):
+        kernel = insert_software_checks(gather_kernel())
+        assert kernel.flow   # structured pairs matched by validate()
+
+
+class TestSemantics:
+    def _run(self, kernel, n=64, data_vals=None, idx_vals=None):
+        import struct
+        session = GpuSession(CFG)
+        idx = session.driver.malloc(n * 4)
+        data = session.driver.malloc(n * 4)
+        out = session.driver.malloc(n * 4)
+        session.driver.write(idx, struct.pack(
+            f"<{n}i", *(idx_vals or list(range(n)))))
+        session.driver.write(data, struct.pack(
+            f"<{n}f", *(data_vals or [float(i) for i in range(n)])))
+        args = {"idx": idx, "data": data, "out": out, "n": n}
+        for pname in (p.name for p in kernel.params):
+            if pname.startswith("__size_"):
+                target = pname[len("__size_"):]
+                args[pname] = {"idx": n * 4, "data": n * 4,
+                               "out": n * 4}[target]
+        result, _ = session.run(kernel, args, 2, 32)
+        blob = session.driver.read(out, n * 4)
+        return struct.unpack(f"<{n}f", blob), result
+
+    def test_results_unchanged_for_valid_inputs(self):
+        plain, _ = self._run(gather_kernel())
+        checked, _ = self._run(insert_software_checks(gather_kernel()))
+        assert plain == checked
+
+    def test_oob_store_suppressed(self):
+        """A hostile index makes the raw kernel corrupt memory (or fault);
+        the checked kernel skips the access."""
+        n = 64
+        hostile = [4096] * n   # way out of data's bounds
+        checked, result = self._run(insert_software_checks(gather_kernel()),
+                                    idx_vals=hostile)
+        assert result.ok
+        assert all(v == 0.0 for v in checked)   # loads were skipped
+
+
+class TestWorkloadTransform:
+    def test_instruction_overhead_ordering(self):
+        def make():
+            return gather("g", n=256, wg_size=64, data_len=256)
+
+        base = run_workload(make(), CFG, None, "base")
+        naive = run_workload(transform_workload(make(), use_bat=False),
+                             CFG, None, "naive")
+        filtered = run_workload(transform_workload(make(), use_bat=True),
+                                CFG, None, "filtered")
+        assert naive.instructions > filtered.instructions > \
+            base.instructions
+
+    def test_fully_affine_workload_needs_no_guards(self):
+        wl = streaming("s", n=256, wg_size=64)
+        base = run_workload(wl, CFG, None, "base")
+        filtered = run_workload(
+            transform_workload(streaming("s", n=256, wg_size=64),
+                               use_bat=True), CFG, None, "filtered")
+        assert filtered.instructions == base.instructions
+
+    def test_transformed_workload_runs_clean(self):
+        wl = transform_workload(gather("g", n=256, wg_size=64,
+                                       data_len=256))
+        record = run_workload(wl, CFG, None, "t")
+        assert not record.aborted

@@ -1,0 +1,65 @@
+"""Tests for violation logging and reporting policies (paper §5.5.2)."""
+
+import pytest
+
+from repro.core.violations import ReportPolicy, ViolationLog, ViolationRecord
+from repro.errors import BoundsViolation
+
+
+def _record(**overrides):
+    fields = dict(kernel_id=1, buffer_id=2, lo=0x100, hi=0x103,
+                  is_store=True, reason="out-of-bounds", cycle=42)
+    fields.update(overrides)
+    return ViolationRecord(**fields)
+
+
+class TestRecordWire:
+    def test_pack_unpack_roundtrip(self):
+        rec = _record()
+        back = ViolationRecord.unpack(rec.pack())
+        assert back.kernel_id == rec.kernel_id
+        assert back.buffer_id == rec.buffer_id
+        assert back.lo == rec.lo
+        assert back.hi == rec.hi
+        assert back.is_store == rec.is_store
+        assert back.cycle == rec.cycle
+
+    def test_wire_size_consistent(self):
+        assert len(_record().pack()) == ViolationRecord.wire_size()
+
+
+class TestLogPolicy:
+    def test_log_policy_collects(self):
+        log = ViolationLog(policy=ReportPolicy.LOG)
+        log.report(_record())
+        log.report(_record(buffer_id=9))
+        assert len(log) == 2
+
+    def test_precise_policy_raises(self):
+        log = ViolationLog(policy=ReportPolicy.PRECISE)
+        with pytest.raises(BoundsViolation) as err:
+            log.report(_record())
+        assert err.value.buffer_id == 2
+        assert len(log) == 0
+
+    def test_signal_host_writes_mailbox(self):
+        sent = []
+        log = ViolationLog(policy=ReportPolicy.SIGNAL_HOST,
+                           mailbox_write=sent.append)
+        log.report(_record())
+        assert len(sent) == 1
+        assert ViolationRecord.unpack(sent[0]).buffer_id == 2
+
+    def test_drain_clears(self):
+        log = ViolationLog()
+        log.report(_record())
+        drained = log.drain()
+        assert len(drained) == 1
+        assert len(log) == 0
+        assert log.drain() == []
+
+    def test_empty_log_is_falsy(self):
+        log = ViolationLog()
+        assert not log
+        log.report(_record())
+        assert log

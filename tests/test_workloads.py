@@ -1,0 +1,122 @@
+"""Tests for the benchmark registries and characterisation datasets."""
+
+import pytest
+
+from repro.workloads.characterization import (
+    SUITE_SIZES,
+    dataset,
+    figure1_rows,
+    summary,
+)
+from repro.workloads.suite import (
+    CUDA_BENCHMARKS,
+    MULTIKERNEL_SET,
+    OPENCL_BENCHMARKS,
+    RCACHE_SENSITIVE,
+    RODINIA_FIG19,
+    get_benchmark,
+)
+
+
+class TestRegistries:
+    def test_cuda_benchmark_count(self):
+        """The paper evaluates 88 CUDA benchmarks."""
+        assert len(CUDA_BENCHMARKS) == 88
+
+    def test_opencl_benchmark_count(self):
+        """...and 17 OpenCL benchmarks on the Intel architecture."""
+        assert len(OPENCL_BENCHMARKS) == 17
+
+    def test_sensitive_set_matches_figure15(self):
+        expected = {
+            "bc", "bfs-dtc", "ConvSep", "Dxtc", "gc-dtc", "Histogram",
+            "LineOfSight", "lud-64", "lud-256", "MergeSort", "nn-256k-1",
+            "nw", "Reduction", "ScalarProd", "SobolQRNG", "sssp-dwc",
+            "streamcluster",
+        }
+        assert set(RCACHE_SENSITIVE) == expected
+
+    def test_fig19_subset_is_rodinia(self):
+        for name in RODINIA_FIG19:
+            assert get_benchmark(name).source == "rodinia"
+
+    def test_multikernel_set_in_opencl(self):
+        assert len(MULTIKERNEL_SET) == 7
+        for name in MULTIKERNEL_SET:
+            assert name in OPENCL_BENCHMARKS
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quake3")
+
+    def test_categories_cover_table6(self):
+        cats = {b.category for b in CUDA_BENCHMARKS.values()}
+        assert cats == {"ML", "LA", "GT", "GI", "PS", "IM", "DM"}
+
+    def test_sources(self):
+        sources = {b.source for b in CUDA_BENCHMARKS.values()}
+        assert sources == {"rodinia", "parboil", "graphbig", "cuda-sdk"}
+
+
+class TestWorkloadBuilds:
+    @pytest.mark.parametrize("name", sorted(CUDA_BENCHMARKS))
+    def test_cuda_workload_builds(self, name):
+        workload = get_benchmark(name).build()
+        assert workload.name == name
+        assert workload.buffers
+        assert workload.runs
+        for run in workload.runs:
+            assert run.workgroups > 0
+            assert run.wg_size % 32 == 0
+            # every arg resolvable
+            for pname in (p.name for p in run.kernel.params):
+                assert pname in run.args
+            for _pname, (kind, value) in run.args.items():
+                if kind == "buf":
+                    assert any(b.name == value for b in workload.buffers)
+
+    @pytest.mark.parametrize("name", sorted(OPENCL_BENCHMARKS))
+    def test_opencl_workload_builds(self, name):
+        workload = get_benchmark(name, opencl=True).build()
+        for run in workload.runs:
+            assert run.wg_size % 8 == 0   # SIMD8 sub-workgroups
+
+    def test_buffer_counts_realistic(self):
+        counts = [get_benchmark(n).build().num_buffers
+                  for n in CUDA_BENCHMARKS]
+        assert max(counts) <= 34            # Figure 1 maximum
+        assert sum(counts) / len(counts) < 10
+
+    def test_streamcluster_many_launches(self):
+        wl = get_benchmark("streamcluster").build()
+        assert wl.repeats >= 10
+
+
+class TestCharacterization:
+    """Figure 1's dataset must match the paper's quoted statistics."""
+
+    def test_totals(self):
+        stats = summary()
+        assert stats["benchmarks"] == 145
+        assert stats["average"] == pytest.approx(6.5, abs=0.05)
+        assert stats["maximum"] == 34
+        assert stats["under5_percent"] == pytest.approx(55.9, abs=0.1)
+        assert stats["over20"] == 5
+
+    def test_thirteen_suites(self):
+        assert len(SUITE_SIZES) == 13
+        assert sum(SUITE_SIZES.values()) == 145
+
+    def test_dataset_deterministic(self):
+        assert dataset() == dataset()
+
+    def test_figure1_rows_consistent(self):
+        rows = figure1_rows()
+        assert len(rows) == 13
+        for row in rows:
+            assert sum(row.buckets.values()) == row.total
+            assert row.total == SUITE_SIZES[row.suite]
+
+    def test_all_counts_positive(self):
+        for counts in dataset().values():
+            assert all(c >= 1 for c in counts)
