@@ -7,7 +7,6 @@ writes through it, vs. writing to a preallocated slot, sweeping the
 number of workgroups.
 """
 
-import pytest
 
 from repro import GpuSession, KernelBuilder, nvidia_config
 

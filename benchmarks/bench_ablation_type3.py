@@ -9,7 +9,6 @@ better.
 
 from repro import BCUConfig, ShieldConfig, intel_config
 from repro.analysis.harness import run_workload
-from repro.workloads.suite import OPENCL_BENCHMARKS
 
 BENCHES = ["bfs", "kmeans", "nn", "streamcluster", "GEMM"]
 

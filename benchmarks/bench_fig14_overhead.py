@@ -29,7 +29,6 @@ def test_figure14(benchmark, publish):
     slow = geomean([v["L1:2,L2:5"] for v in result.per_benchmark.values()])
     assert slow >= overall - 0.01
     if "streamcluster" in result.per_benchmark and len(names) > 40:
-        dm = result.per_category.get("DM", {})
         worst_cat = max(result.per_category,
                         key=lambda c: result.per_category[c]["L1:1,L2:3"])
         assert worst_cat == "DM", (

@@ -1,13 +1,17 @@
 """Run harness, result aggregation and figure/table reporting."""
 
 from repro.analysis.results import RunRecord, geomean
-from repro.analysis.harness import run_benchmark, run_workload
+from repro.analysis.harness import LaunchInterposer, run_benchmark, run_workload
+from repro.analysis.stats import StatsRegistry, StatsSnapshot
 from repro.analysis import report
 
 __all__ = [
     "RunRecord",
     "geomean",
+    "LaunchInterposer",
     "run_benchmark",
     "run_workload",
+    "StatsRegistry",
+    "StatsSnapshot",
     "report",
 ]

@@ -11,7 +11,7 @@ Paper-vs-measured numbers are recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.harness import run_workload
 from repro.analysis.results import RunRecord, geomean
@@ -302,7 +302,6 @@ def figure18(pair_names: Optional[Sequence[Tuple[str, str]]] = None,
              seed: int = 11) -> Dict[str, Dict[str, float]]:
     """21 OpenCL pairs, inter-core vs intra-core, normalized to the same
     pair running without bounds checking."""
-    from repro.session import GpuSession
     config = config or intel_config()
     if pair_names is None:
         pair_names = [(a, b) for i, a in enumerate(MULTIKERNEL_SET)
@@ -333,7 +332,7 @@ def _run_pair(a: str, b: str, config: GPUConfig,
     # Multi-kernel runs use each workload's first kernel launch, repeated
     # workloads are truncated to keep pair runs comparable.
     runner_a = WorkloadRunner(wl_a, config, shield, seed=seed)
-    runner_b = WorkloadRunner(wl_b, config, shield, seed=seed + 1)
+    _runner_b = WorkloadRunner(wl_b, config, shield, seed=seed + 1)
     session = runner_a.session
     # Run B's buffers in A's session so both kernels share the GPU.
     buffers_b = {}
@@ -381,7 +380,7 @@ def figure19(benchmarks: Optional[Sequence[str]] = None,
              seed: int = 11) -> Dict[str, Dict[str, float]]:
     from repro.baselines.canary import CanaryRunner
     from repro.baselines.gmod import GmodRunner
-    from repro.baselines.memcheck import instrument_workload, memcheck_config
+    from repro.baselines.memcheck import MemcheckRunner
 
     config = config or nvidia_config()
     names = list(benchmarks or RODINIA_FIG19)
@@ -391,9 +390,9 @@ def figure19(benchmarks: Optional[Sequence[str]] = None,
         base = run_workload(bench.build(), config, None, "base", seed=seed)
         shield_rec = run_workload(bench.build(), config, _shield(),
                                   "gpushield", seed=seed)
-        mc = run_workload(instrument_workload(bench.build()),
-                          memcheck_config(config), None, "memcheck",
-                          seed=seed)
+        # Per-access tool: rides the AccessChecker seam of the pipeline.
+        mc = MemcheckRunner(bench.build(), config, seed=seed).run()
+        # Launch-granularity tools: LaunchInterposer hooks in the harness.
         ca = CanaryRunner(bench.build(), config, seed=seed).run()
         gm = GmodRunner(bench.build(), config, seed=seed).run()
         out[name] = {

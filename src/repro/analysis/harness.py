@@ -2,10 +2,13 @@
 
 :class:`WorkloadRunner` allocates a workload's buffers, initialises their
 contents (NumPy-generated, deterministic) and executes the kernel
-sequence ``repeats`` times, accumulating cycles and GPUShield statistics.
-Per-launch hooks let the baseline tools (clArmor, GMOD) interpose real
-work around every kernel invocation, exactly where the real tools hook
-the runtime.
+sequence ``repeats`` times, accumulating cycles and GPUShield statistics
+read from the GPU's unified stats registry.  Launch-granularity tools
+(clArmor, GMOD) interpose real work around every kernel invocation
+through a :class:`LaunchInterposer` — exactly where the real tools hook
+the runtime; per-access tools instead implement the
+:class:`~repro.core.checker.AccessChecker` protocol and ride the memory
+pipeline.
 
 A healthy benchmark run must not trigger violations: the harness raises
 if any are reported, which doubles as a continuous no-false-positive
@@ -14,6 +17,7 @@ check on the whole GPUShield stack.
 
 from __future__ import annotations
 
+from abc import ABC
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -31,7 +35,31 @@ from repro.workloads.templates import BufferSpec, Workload
 #: be larger (Figure 11 footprints) but kernels only touch a prefix.
 _INIT_CAP = 2 << 20
 
-LaunchHook = Callable[["WorkloadRunner", LaunchResult], int]
+#: A launch hook sees the runner plus the just-finished launch's result —
+#: ``None`` for pre-launch hooks (nothing has run yet) — and returns
+#: extra cycles to charge.
+LaunchHook = Callable[["WorkloadRunner", Optional[LaunchResult]], int]
+
+
+class LaunchInterposer(ABC):
+    """Kernel-launch-granularity instrumentation (clArmor, GMOD, ...).
+
+    Tools that cannot see individual accesses hook the runtime around
+    every kernel invocation instead: allocate padding, plant canaries,
+    scan after completion.  Both hooks return the extra GPU cycles the
+    interposition costs; the default implementations are free no-ops so
+    subclasses override only the side they use.
+    """
+
+    def pre_launch(self, runner: "WorkloadRunner",
+                   result: Optional[LaunchResult]) -> int:
+        """Called before each launch; ``result`` is always ``None``."""
+        return 0
+
+    def post_launch(self, runner: "WorkloadRunner",
+                    result: Optional[LaunchResult]) -> int:
+        """Called after each launch with its :class:`LaunchResult`."""
+        return 0
 
 
 def _init_buffer(session: GpuSession, buf: Buffer, spec: BufferSpec,
@@ -91,8 +119,21 @@ class WorkloadRunner:
         return self.buffers[name].va + self.buffers[name].size - self.alloc_pad
 
     def run(self, pre_launch: Optional[LaunchHook] = None,
-            post_launch: Optional[LaunchHook] = None) -> RunRecord:
-        """Execute all launches; hooks return extra cycles to account."""
+            post_launch: Optional[LaunchHook] = None,
+            interposer: Optional[LaunchInterposer] = None) -> RunRecord:
+        """Execute all launches; hooks return extra cycles to account.
+
+        ``interposer`` bundles both hooks behind the
+        :class:`LaunchInterposer` ABC; explicit ``pre_launch`` /
+        ``post_launch`` callables may still be passed for one-off hooks
+        (both may not name the same side twice).
+        """
+        if interposer is not None:
+            if pre_launch is not None or post_launch is not None:
+                raise ValueError(
+                    "pass either an interposer or bare hooks, not both")
+            pre_launch = interposer.pre_launch
+            post_launch = interposer.post_launch
         workload = self.workload
         record = RunRecord(benchmark=workload.name, config=self.config_name)
         driver = self.session.driver
@@ -109,6 +150,8 @@ class WorkloadRunner:
                     else:
                         args[pname] = value
                 if pre_launch is not None:
+                    # Pre-launch hooks have no result yet (the
+                    # LaunchHook alias declares Optional[LaunchResult]).
                     record.cycles += pre_launch(self, None)
                 launch = driver.launch(run.kernel, args,
                                        run.workgroups, run.wg_size)
@@ -131,16 +174,19 @@ class WorkloadRunner:
                 if post_launch is not None:
                     record.cycles += post_launch(self, result)
 
-        shield_obj = self.session.shield
-        if shield_obj.enabled:
-            record.l1_rcache_hit_rate = shield_obj.l1_hit_rate()
-            record.l2_rcache_hit_rate = shield_obj.l2_hit_rate()
-            record.check_reduction_percent = shield_obj.reduction_percent()
-            record.bcu_stall_cycles = shield_obj.total_stall_cycles()
-            record.rbt_fills = shield_obj.total_rbt_fills()
-        hits = sum(c.l1d.stats.hits for c in gpu.cores)
-        accesses = sum(c.l1d.stats.accesses for c in gpu.cores)
-        record.l1d_hit_rate = hits / accesses if accesses else 1.0
+        # All run statistics come from the GPU's unified stats registry:
+        # one hierarchical snapshot instead of per-component walks.
+        snap = self.session.stats.snapshot()
+        if self.session.shield.enabled:
+            record.l1_rcache_hit_rate = snap.hit_rate("cores.*.rcache.l1")
+            record.l2_rcache_hit_rate = snap.hit_rate("cores.*.rcache.l2")
+            record.check_reduction_percent = snap.ratio_percent(
+                "cores.*.bcu.checks_skipped_static",
+                "cores.*.bcu.mem_instructions")
+            record.bcu_stall_cycles = int(
+                snap.total("cores.*.bcu.stall_cycles"))
+            record.rbt_fills = int(snap.total("cores.*.bcu.rbt_fills"))
+        record.l1d_hit_rate = snap.hit_rate("cores.*.l1d")
         return record
 
 

@@ -7,7 +7,7 @@ EXPERIMENTS.md numbers can be regenerated.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def table(title: str, headers: Sequence[str],

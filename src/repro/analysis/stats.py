@@ -1,0 +1,158 @@
+"""The unified statistics registry.
+
+Every timing component of the model — caches, TLBs, DRAM channels,
+RCaches, BCUs, shader cores — keeps simple counter dataclasses.  Before
+this registry existed each consumer hand-aggregated them
+(``sum(c.l1d.stats.hits for c in gpu.cores)``, ``shield.l1_hit_rate()``,
+…), so every new figure or bench re-invented the walk.  The registry
+gives them one query surface:
+
+* components are *registered* once under a hierarchical dotted path
+  (``cores.0.l1d``, ``cores.0.rcache.l1``, ``l2cache``, ``dram``);
+* :meth:`StatsRegistry.snapshot` flattens every registered source's
+  numeric counters into one immutable :class:`StatsSnapshot`;
+* snapshots answer point lookups (:meth:`~StatsSnapshot.get`), wildcard
+  sums (:meth:`~StatsSnapshot.total` over ``cores.*.l1d.hits``) and the
+  hit-rate idiom (:meth:`~StatsSnapshot.hit_rate`) used throughout the
+  paper's figures.
+
+Sources may be counter dataclasses (numeric attributes are harvested),
+dicts, or zero-argument callables returning either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple, Union
+
+Number = Union[int, float]
+StatsSource = Union[Mapping[str, Number], Callable[[], Mapping[str, Number]],
+                    object]
+
+
+def _counters_of(source: StatsSource) -> Dict[str, Number]:
+    """Extract the numeric counters a source currently holds."""
+    if callable(source):
+        source = source()
+    if isinstance(source, Mapping):
+        return {str(k): v for k, v in source.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    out: Dict[str, Number] = {}
+    for name, value in vars(source).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = value
+    return out
+
+
+def _match(pattern: Tuple[str, ...], path: Tuple[str, ...]) -> bool:
+    """Segment-wise glob: ``*`` matches exactly one path segment."""
+    if len(pattern) != len(path):
+        return False
+    return all(p == "*" or p == s for p, s in zip(pattern, path))
+
+
+class StatsSnapshot:
+    """A frozen, flattened view of every registered counter."""
+
+    def __init__(self, values: Dict[str, Number]):
+        self._values = dict(values)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def get(self, path: str, default: Number = 0) -> Number:
+        return self._values.get(path, default)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._values
+
+    def select(self, pattern: str) -> Dict[str, Number]:
+        """All counters whose path matches the ``*``-wildcard pattern."""
+        pat = tuple(pattern.split("."))
+        return {path: value for path, value in self._values.items()
+                if _match(pat, tuple(path.split(".")))}
+
+    def total(self, pattern: str) -> Number:
+        """Sum of every counter matching the pattern."""
+        return sum(self.select(pattern).values())
+
+    def hit_rate(self, component_pattern: str) -> float:
+        """``hits / (hits + misses)`` over matching components.
+
+        1.0 when the components were never accessed (vacuously hot) —
+        the convention every cache/TLB/RCache stat here follows.
+        """
+        hits = self.total(component_pattern + ".hits")
+        misses = self.total(component_pattern + ".misses")
+        accesses = hits + misses
+        if accesses == 0:
+            return 1.0
+        return hits / accesses
+
+    def ratio_percent(self, num_pattern: str, den_pattern: str) -> float:
+        """``100 * total(num) / total(den)``; 0.0 on an empty denominator."""
+        den = self.total(den_pattern)
+        if den == 0:
+            return 0.0
+        return 100.0 * self.total(num_pattern) / den
+
+    # -- export ------------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Number]:
+        return dict(self._values)
+
+    def tree(self) -> Dict[str, object]:
+        """Nest the flat paths back into a hierarchical dict."""
+        root: Dict[str, object] = {}
+        for path, value in sorted(self._values.items()):
+            node = root
+            *parents, leaf = path.split(".")
+            for part in parents:
+                node = node.setdefault(part, {})  # type: ignore[assignment]
+            node[leaf] = value
+        return root
+
+    def render(self, title: str = "statistics") -> str:
+        """Indented text rendering of the hierarchy (for reports/CLI)."""
+        lines = [title, "=" * len(title)]
+
+        def walk(node: Mapping[str, object], depth: int) -> None:
+            for key, value in node.items():
+                pad = "  " * depth
+                if isinstance(value, Mapping):
+                    lines.append(f"{pad}{key}:")
+                    walk(value, depth + 1)
+                elif isinstance(value, float):
+                    lines.append(f"{pad}{key}: {value:.4f}")
+                else:
+                    lines.append(f"{pad}{key}: {value}")
+
+        walk(self.tree(), 0)
+        return "\n".join(lines)
+
+
+class StatsRegistry:
+    """Maps hierarchical component paths to live counter sources."""
+
+    def __init__(self):
+        self._sources: Dict[str, StatsSource] = {}
+
+    def register(self, path: str, source: StatsSource) -> None:
+        """Attach a counter source under ``path`` (replaces any previous)."""
+        if not path or path.startswith(".") or path.endswith("."):
+            raise ValueError(f"bad stats path {path!r}")
+        self._sources[path] = source
+
+    def unregister(self, path: str) -> None:
+        self._sources.pop(path, None)
+
+    def paths(self) -> List[str]:
+        return sorted(self._sources)
+
+    def snapshot(self) -> StatsSnapshot:
+        """Flatten every registered source's counters, read live."""
+        values: Dict[str, Number] = {}
+        for path, source in self._sources.items():
+            for name, value in _counters_of(source).items():
+                values[f"{path}.{name}"] = value
+        return StatsSnapshot(values)

@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.analysis.harness import WorkloadRunner
+from repro.analysis.harness import LaunchInterposer, WorkloadRunner
 from repro.analysis.results import RunRecord
-from repro.core.shield import ShieldConfig
 from repro.core.violations import ViolationRecord
 from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import LaunchResult
 from repro.workloads.templates import Workload
 
 CANARY_BYTE = 0x5C
@@ -39,8 +39,12 @@ SYNC_CYCLES = 4000
 SCAN_BYTES_PER_CYCLE = 0.25
 
 
-class CanaryRunner:
-    """Runs a workload under clArmor-style canary protection."""
+class CanaryRunner(LaunchInterposer):
+    """Runs a workload under clArmor-style canary protection.
+
+    A :class:`LaunchInterposer`: all interposition happens at kernel
+    boundaries (the tool never sees individual accesses — the coverage
+    hole GPUShield's per-access checker closes)."""
 
     def __init__(self, workload: Workload,
                  config: Optional[GPUConfig] = None, seed: int = 11):
@@ -79,12 +83,14 @@ class CanaryRunner:
                 memory.write(addr, bytes([CANARY_BYTE]) * take)
         return scanned
 
-    def run(self) -> RunRecord:
-        def post_launch(_runner, _result) -> int:
-            scanned = self._scan()
-            return SYNC_CYCLES + int(scanned / SCAN_BYTES_PER_CYCLE)
+    def post_launch(self, runner: WorkloadRunner,
+                    result: Optional[LaunchResult]) -> int:
+        """Device sync + host-side canary scan after every kernel."""
+        scanned = self._scan()
+        return SYNC_CYCLES + int(scanned / SCAN_BYTES_PER_CYCLE)
 
-        record = self.runner.run(post_launch=post_launch)
+    def run(self) -> RunRecord:
+        record = self.runner.run(interposer=self)
         record.config = "clarmor"
         record.extra["canary_detections"] = float(len(self.detections))
         return record

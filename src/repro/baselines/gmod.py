@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.analysis.harness import WorkloadRunner
+from repro.analysis.harness import LaunchInterposer, WorkloadRunner
 from repro.analysis.results import RunRecord
 from repro.core.violations import ViolationRecord
 from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import LaunchResult
 from repro.workloads.templates import Workload
 
 GUARD_CANARY_BYTE = 0x6D
@@ -40,8 +41,11 @@ LAUNCH_FIXED_CYCLES = 500
 GUARD_INTERFERENCE = 0.03
 
 
-class GmodRunner:
-    """Runs a workload under GMOD-style guard-thread protection."""
+class GmodRunner(LaunchInterposer):
+    """Runs a workload under GMOD-style guard-thread protection.
+
+    A :class:`LaunchInterposer`: the guard kernel and the per-launch
+    constructor/destructor pair both live at launch granularity."""
 
     def __init__(self, workload: Workload,
                  config: Optional[GPUConfig] = None, seed: int = 11):
@@ -73,14 +77,16 @@ class GmodRunner:
                     is_store=True, reason="guard-canary"))
                 memory.write(addr, bytes([GUARD_CANARY_BYTE]) * take)
 
-    def run(self) -> RunRecord:
-        def post_launch(_runner, result) -> int:
-            self._poll()
-            interference = int(result.cycles * GUARD_INTERFERENCE)
-            exposed = max(0, CTOR_DTOR_CYCLES - result.cycles)
-            return LAUNCH_FIXED_CYCLES + exposed + interference
+    def post_launch(self, runner: WorkloadRunner,
+                    result: Optional[LaunchResult]) -> int:
+        """Poll the guards; charge ctor/dtor exposure + interference."""
+        self._poll()
+        interference = int(result.cycles * GUARD_INTERFERENCE)
+        exposed = max(0, CTOR_DTOR_CYCLES - result.cycles)
+        return LAUNCH_FIXED_CYCLES + exposed + interference
 
-        record = self.runner.run(post_launch=post_launch)
+    def run(self) -> RunRecord:
+        record = self.runner.run(interposer=self)
         record.config = "gmod"
         record.extra["guard_detections"] = float(len(self.detections))
         return record

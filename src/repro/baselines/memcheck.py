@@ -12,7 +12,14 @@ We reproduce the mechanism, not a magic constant:
   before every global/local/heap memory operation an address
   computation, a shadow-table load and a check loop (the JIT call-out);
 * :func:`memcheck_config` degrades the cache configuration to one-set
-  L1/L2 (the debug runtime's bypass behaviour).
+  L1/L2 (the debug runtime's bypass behaviour);
+* :class:`MemcheckChecker` is the tool's *detection* logic behind the
+  unified :class:`~repro.core.checker.AccessChecker` protocol: the same
+  per-access (min, max) ranges the BCU judges are validated against the
+  shadow allocation table.  Its timing cost is zero — the price is
+  already paid by the instrumented instructions flowing through the
+  same memory pipeline — so :class:`MemcheckRunner` composes all three
+  pieces without any bespoke executor plumbing.
 
 The slowdown then *emerges* from the instrumented instruction count and
 the wrecked cache behaviour, and is naturally worst for memory-intensive
@@ -21,8 +28,10 @@ many-launch benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.checker import ALLOW, AccessContext, CheckOutcome
+from repro.core.violations import ViolationRecord
 from repro.gpu.config import GPUConfig
 from repro.isa.instructions import Imm, Instr, Reg
 from repro.isa.program import Kernel, KernelParam
@@ -122,3 +131,65 @@ def memcheck_config(config: GPUConfig) -> GPUConfig:
         l2_bytes=config.line_size * config.l2_assoc,
         max_warps_per_core=1,   # debug-mode warp serialisation
     )
+
+
+class MemcheckChecker:
+    """The shadow-table validation behind the ``AccessChecker`` seam.
+
+    ``regions`` maps allocation names to ``(va, size)``.  Every global
+    warp access is range-checked against them; an access outside every
+    allocation is *detected* (recorded) but never blocked — MEMCHECK
+    reports, it does not prevent.  The outcome carries no stall and no
+    latency: the tool's cost is the instrumented instruction stream
+    itself, which rides the same pipeline as the checked access.
+    """
+
+    def __init__(self, regions: Dict[str, Tuple[int, int]]):
+        self.regions = dict(regions)
+        self.detections: List[ViolationRecord] = []
+        self.checked = 0
+
+    def check(self, ctx: AccessContext) -> CheckOutcome:
+        if ctx.space != "global":
+            return ALLOW
+        self.checked += 1
+        for va, size in self.regions.values():
+            if ctx.lo >= va and ctx.hi < va + size:
+                return ALLOW
+        self.detections.append(ViolationRecord(
+            kernel_id=0, buffer_id=-1, lo=ctx.lo, hi=ctx.hi,
+            is_store=ctx.is_store, reason="memcheck-shadow",
+            cycle=ctx.cycle))
+        return ALLOW
+
+
+class MemcheckRunner:
+    """Runs a workload the way CUDA-MEMCHECK does: instrumented kernels,
+    a wrecked cache configuration, and per-access shadow validation
+    attached to every core's memory pipeline."""
+
+    def __init__(self, workload: Workload,
+                 config: Optional[GPUConfig] = None, seed: int = 11):
+        from repro.analysis.harness import WorkloadRunner
+        from repro.gpu.config import nvidia_config
+        config = config or nvidia_config()
+        self.runner = WorkloadRunner(instrument_workload(workload),
+                                     config=memcheck_config(config),
+                                     shield=None, config_name="memcheck",
+                                     seed=seed)
+        self.checker = MemcheckChecker({
+            name: (buf.va, buf.size)
+            for name, buf in self.runner.buffers.items()})
+        for core in self.runner.session.gpu.cores:
+            core.pipeline.checker = self.checker
+
+    @property
+    def detections(self) -> List[ViolationRecord]:
+        return self.checker.detections
+
+    def run(self):
+        record = self.runner.run()
+        record.config = "memcheck"
+        record.extra["memcheck_checked"] = float(self.checker.checked)
+        record.extra["memcheck_detections"] = float(len(self.detections))
+        return record

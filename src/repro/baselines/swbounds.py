@@ -18,9 +18,48 @@ This module builds kmeans-swap variants:
 
 from __future__ import annotations
 
+from typing import Dict, List, Tuple
+
+from repro.core.checker import ALLOW, AccessContext, CheckOutcome
 from repro.isa.builder import KernelBuilder
 from repro.isa.program import Kernel
 from repro.workloads.templates import BufferSpec, KernelRun, Workload, _buf, _scalar
+
+#: Instructions one in-kernel guard adds per access (setp + branch).
+GUARD_COST_CYCLES = 2
+
+
+class SoftwareGuardChecker:
+    """The in-kernel ``if (tid < n)`` guard behind the unified
+    :class:`~repro.core.checker.AccessChecker` protocol.
+
+    Each global access is compared against the known buffer regions —
+    the same (min, max) range the BCU judges — and charged the guard's
+    instruction cost as an issue bubble.  Unlike the real in-kernel
+    variant this form cannot diverge (the comparison is per warp, not
+    per lane), which is exactly the saving the paper attributes to
+    hardware subsuming software guards (§6.4).
+    """
+
+    def __init__(self, regions: Dict[str, Tuple[int, int]],
+                 guard_cost: int = GUARD_COST_CYCLES):
+        self.regions = dict(regions)
+        self.guard_cost = guard_cost
+        self.checks = 0
+        self.failures: List[Tuple[int, int]] = []
+
+    def check(self, ctx: AccessContext) -> CheckOutcome:
+        if ctx.space != "global":
+            return ALLOW
+        self.checks += 1
+        for va, size in self.regions.values():
+            if ctx.lo >= va and ctx.hi < va + size:
+                return CheckOutcome(allowed=True,
+                                    stall_cycles=self.guard_cost)
+        # The guard clause fails: the lanes skip the access (predicated
+        # off), modelled as a zero-load/drop-store like the BCU's policy.
+        self.failures.append((ctx.lo, ctx.hi))
+        return CheckOutcome(allowed=False, stall_cycles=self.guard_cost)
 
 
 def _kmeans_kernel(name: str, *, guard_per_access: bool,

@@ -10,12 +10,12 @@ then works purely on this IR — it never peeks at the builder's records.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import CompileError
 from repro.isa import exprs
 from repro.isa.program import Kernel
-from repro.compiler.ir import IRConst, IRFunction, IRInstr, Value
+from repro.compiler.ir import IRConst, IRFunction, Value
 
 _BIN_TO_IR = {
     "add": "add",

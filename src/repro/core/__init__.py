@@ -22,11 +22,23 @@ from repro.core.pointer import (
     make_unprotected_pointer,
 )
 from repro.core.rcache import L1RCache, L2RCache, RCacheEntry
-from repro.core.bcu import BoundsCheckingUnit, BCUConfig, CheckOutcome
+from repro.core.bcu import BCUAccessChecker, BoundsCheckingUnit, BCUConfig
+from repro.core.checker import (
+    AccessChecker,
+    AccessContext,
+    CheckOutcome,
+    NullChecker,
+    RecordingChecker,
+)
 from repro.core.violations import ReportPolicy, ViolationLog, ViolationRecord
 from repro.core.shield import GPUShield, ShieldConfig
 
 __all__ = [
+    "AccessChecker",
+    "AccessContext",
+    "BCUAccessChecker",
+    "NullChecker",
+    "RecordingChecker",
     "Bounds",
     "RegionBoundsTable",
     "RBT_ENTRIES",

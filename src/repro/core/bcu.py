@@ -21,14 +21,18 @@ accesses and TLB misses widen the window and hide the check entirely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.bounds import Bounds
+from repro.core.checker import ALLOW, AccessContext, CheckOutcome
 from repro.core.crypto import IdCipher
 from repro.core.pointer import PointerType, decode
 from repro.core.rcache import L1RCache, L2RCache, RCacheEntry
 from repro.core.violations import ReportPolicy, ViolationLog, ViolationRecord
+
+__all__ = ["BCUConfig", "KernelSecurityContext", "BCUStats", "CheckOutcome",
+           "BoundsCheckingUnit", "BCUAccessChecker"]
 
 
 @dataclass
@@ -80,25 +84,6 @@ class BCUStats:
         if self.mem_instructions == 0:
             return 0.0
         return 100.0 * self.checks_skipped_static / self.mem_instructions
-
-
-@dataclass(frozen=True)
-class CheckOutcome:
-    """Result of one warp-level bounds check.
-
-    ``stall_cycles`` is an *issue bubble*: the pipeline cannot issue for
-    that many cycles (Figure 12's 1-cycle penalty case).  ``check_latency``
-    is how long until the bounds are resolved; the warp's memory result
-    cannot commit earlier, but other warps keep running — on an RBT fill
-    (L2 RCache miss) this is a full memory fetch, hidden behind TLB-miss
-    and DRAM latency in the common case (§5.5).
-    """
-
-    allowed: bool
-    stall_cycles: int
-    check_latency: int = 0
-    violation: Optional[ViolationRecord] = None
-    rbt_fill: bool = False
 
 
 class BoundsCheckingUnit:
@@ -264,3 +249,31 @@ class BoundsCheckingUnit:
         return CheckOutcome(allowed=False, stall_cycles=stall,
                             check_latency=check_latency,
                             violation=record, rbt_fill=rbt_fill)
+
+    def as_checker(self) -> "BCUAccessChecker":
+        """This BCU behind the unified :class:`AccessChecker` protocol."""
+        return BCUAccessChecker(self)
+
+
+class BCUAccessChecker:
+    """:class:`AccessChecker` facade over one :class:`BoundsCheckingUnit`.
+
+    Kernels launched without GPUShield metadata (``ctx.security is
+    None``) pass through for free — the BCU never even sees them, so its
+    statistics keep counting only protected launches.
+    """
+
+    def __init__(self, bcu: BoundsCheckingUnit):
+        self.bcu = bcu
+
+    def check(self, ctx: AccessContext) -> CheckOutcome:
+        if ctx.security is None:
+            return ALLOW
+        return self.bcu.check(
+            ctx.security, ctx.base_pointer, ctx.lo, ctx.hi,
+            is_store=ctx.is_store,
+            num_transactions=ctx.num_transactions,
+            dcache_hit=ctx.dcache_hit,
+            tlb_miss=ctx.tlb_miss,
+            num_lanes=ctx.num_lanes,
+            cycle=ctx.cycle)

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.crypto import ID_BITS, ID_SPACE
 from repro.core.pointer import VA_MASK

@@ -18,7 +18,7 @@ Both levels are flushed on kernel termination or context switch.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.bounds import Bounds

@@ -17,7 +17,6 @@ by the core when executing ``malloc`` instructions; the ablation bench
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.errors import AllocationError
 from repro.gpu.memory import AddressSpace, PageFlags

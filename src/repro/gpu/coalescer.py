@@ -11,7 +11,7 @@ per warp instead of one per thread).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""One shader core: warp scheduler, LSU timing, BCU hook.
+"""One shader core: warp scheduling and issue accounting.
 
 The core model is warp-level and cycle-approximate:
 
@@ -6,12 +6,15 @@ The core model is warp-level and cycle-approximate:
   so a warp keeps issuing until it stalls — the behaviour that gives
   bounds metadata its strong temporal locality, §5.5);
 * ALU/SFU instructions make the warp ready again after a fixed latency;
-* memory instructions run through AGU -> coalescer -> TLB/L1 -> L2 ->
-  DRAM and block the issuing warp until data returns — other warps hide
-  the latency (the TLP argument of §8.1);
-* the BCU checks every global/local/heap access and can inject issue
-  bubbles per Figure 12's rule; blocked accesses return zero (loads) or
-  are dropped (stores) under the logging policy.
+* memory instructions are handed to the core's
+  :class:`~repro.gpu.pipeline.MemoryPipeline` (AGU -> coalescer ->
+  TLB/L1 -> L2 -> DRAM plus the checker seam) and block the issuing
+  warp until data returns — other warps hide the latency (the TLP
+  argument of §8.1);
+* the attached :class:`~repro.core.checker.AccessChecker` (GPUShield's
+  BCU by default) can inject issue bubbles per Figure 12's rule;
+  blocked accesses return zero (loads) or are dropped (stores) under
+  the logging policy.
 
 Native (no-GPUShield) protection is the address space's page-granularity
 check: touching an unmapped or inaccessible page aborts the kernel.
@@ -19,19 +22,19 @@ check: touching an unmapped or inaccessible page aborts the kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bcu import BoundsCheckingUnit
-from repro.errors import IllegalAddressError, KernelAborted
+from repro.errors import KernelAborted
 from repro.gpu.cache import Cache
-from repro.gpu.coalescer import coalesce
 from repro.gpu.config import GPUConfig
 from repro.gpu.dram import Dram
 from repro.gpu.executor import Executor, MemRequest, WarpState
 from repro.gpu.memory import AddressSpace, PhysicalMemory
+from repro.gpu.pipeline import MemoryPipeline
 from repro.gpu.tlb import Tlb
-from repro.isa.instructions import DTYPE_SIZE
 
 _FAR_FUTURE = 1 << 60
 
@@ -65,34 +68,61 @@ class ShaderCore:
         self.config = config
         self.memory = memory
         self.space = space
-        self.l1d = Cache(config.l1d_bytes, config.l1d_assoc,
-                         config.line_size, name=f"l1d{core_id}")
-        # Read-only paths (Table 1: constant and texture memory).
-        self.const_cache = Cache(config.const_cache_bytes, 4, 64,
-                                 name=f"const{core_id}")
-        self.tex_cache = Cache(config.tex_cache_bytes, 4,
-                               config.line_size, name=f"tex{core_id}")
-        self.l1tlb = Tlb(config.l1tlb_entries, name=f"l1tlb{core_id}")
-        self.l2cache = l2cache
-        self.l2tlb = l2tlb
-        self.dram = dram
         self.bcu = bcu
-        self.tracer = None   # optional MemoryTracer (analysis.trace)
+        self.pipeline = MemoryPipeline(
+            core_id, config, memory, space, l2cache, l2tlb, dram,
+            checker=bcu.as_checker() if bcu is not None else None)
         self.stats = CoreStats()
-        # (launch_key, wg) -> shared-memory scratchpad
-        self._shared: Dict[Tuple[int, int], bytearray] = {}
+
+    # The per-core memory structures live in the pipeline; these views
+    # keep the historical attribute paths working (tests, stats wiring).
+
+    @property
+    def l1d(self) -> Cache:
+        return self.pipeline.l1d
+
+    @property
+    def const_cache(self) -> Cache:
+        return self.pipeline.const_cache
+
+    @property
+    def tex_cache(self) -> Cache:
+        return self.pipeline.tex_cache
+
+    @property
+    def l1tlb(self) -> Tlb:
+        return self.pipeline.l1tlb
+
+    @property
+    def l2cache(self) -> Cache:
+        return self.pipeline.l2cache
+
+    @property
+    def l2tlb(self) -> Tlb:
+        return self.pipeline.l2tlb
+
+    @property
+    def dram(self) -> Dram:
+        return self.pipeline.dram
+
+    @property
+    def tracer(self):
+        return self.pipeline.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self.pipeline.tracer = tracer
 
     # -- execution ---------------------------------------------------------------------
 
     def run(self, assignments: List[Tuple[CoreJob, int]]) -> int:
         """Run the assigned (job, workgroup) list; returns finish cycle."""
-        self.dram.begin_core_epoch()
-        queue = list(assignments)
+        self.pipeline.dram.begin_core_epoch()
+        queue = deque(assignments)
         resident: List[Tuple[WarpState, CoreJob]] = []
         barrier_count: Dict[Tuple[int, int], int] = {}
         wg_live: Dict[Tuple[int, int], int] = {}
         cycle = 0
-        last_issued = -1
         next_warp_id = 0
 
         max_warps = self.config.max_warps_per_core
@@ -104,7 +134,7 @@ class ShaderCore:
                 wg_warps = job.executor.warps_per_wg
                 if resident and len(resident) + wg_warps > max_warps:
                     break
-                queue.pop(0)
+                queue.popleft()
                 warps = job.executor.make_workgroup(wg, next_warp_id)
                 next_warp_id += wg_warps
                 for warp in warps:
@@ -113,13 +143,13 @@ class ShaderCore:
 
         refill()
         try:
-            cycle = self._run_loop(resident, queue, barrier_count,
-                                   wg_live, cycle, refill)
+            cycle = self._run_loop(resident, barrier_count, wg_live, cycle,
+                                   refill)
         finally:
             self.stats.cycles = max(self.stats.cycles, cycle)
         return cycle
 
-    def _run_loop(self, resident, queue, barrier_count, wg_live, cycle,
+    def _run_loop(self, resident, barrier_count, wg_live, cycle,
                   refill) -> int:
         last_issued = -1
         while resident:
@@ -130,7 +160,6 @@ class ShaderCore:
                 if not warp.at_barrier and warp.ready_at <= cycle:
                     chosen = last_issued
             if chosen < 0:
-                best_ready = _FAR_FUTURE
                 soonest = _FAR_FUTURE
                 for i, (warp, _job) in enumerate(resident):
                     if warp.at_barrier:
@@ -176,7 +205,7 @@ class ShaderCore:
                 total = wg_live[key]
                 if arrived >= total:
                     barrier_count[key] = 0
-                    for other, ojob in resident:
+                    for other, _ojob in resident:
                         if (other.launch_key, other.wg) == key:
                             other.at_barrier = False
                             other.ready_at = cycle + 1
@@ -196,189 +225,18 @@ class ShaderCore:
 
         return cycle
 
-    # -- memory pipeline -------------------------------------------------------------------
+    # -- issue accounting for memory instructions --------------------------------------
 
     def _process_mem(self, warp: WarpState, job: CoreJob,
                      request: MemRequest, cycle: int) -> Tuple[int, int]:
-        """Timing + checks + functional completion of one warp access.
+        """Hand one warp access to the pipeline; account the outcome.
 
         Returns (latency until data ready, issue-stall cycles).
         """
         self.stats.mem_instructions += 1
-        if request.space == "shared":
-            self._do_shared(warp, job, request)
-            if self.tracer is not None:
-                offs = [a for a in request.lane_addrs if a is not None]
-                self._trace(warp, request, cycle, min(offs), max(offs),
-                            1, True)
-            return (self.config.lsu_pipeline_depth, 0)
-
-        access_size = DTYPE_SIZE[request.dtype]
-        ca = coalesce(request.lane_addrs, access_size, self.config.line_size)
-        assert ca is not None  # executor filters empty masks
-        self.stats.transactions += ca.num_transactions
-
-        # LSU timing per transaction (they pipeline; the slowest dominates).
-        # Constant/texture accesses ride their read-only caches instead of
-        # the L1 Dcache (Table 1's extra memory types).
-        if request.space == "const":
-            level1 = self.const_cache
-        elif request.space == "texture":
-            level1 = self.tex_cache
-        else:
-            level1 = self.l1d
-        page_size = self.config.page_size
-        worst = 0
-        all_dcache_hit = True
-        any_walk = False
-        for tx in ca.transactions:
-            latency = self.config.lsu_pipeline_depth
-            vpage = tx // page_size
-            if not self.l1tlb.access(vpage):
-                if self.l2tlb.access(vpage):
-                    latency += self.config.tlb_l2_latency
-                else:
-                    latency += self.config.page_walk_latency
-                    any_walk = True
-            if not level1.access(tx):
-                all_dcache_hit = False
-                if self.l2cache.access(tx):
-                    latency += self.config.l2_latency
-                else:
-                    done = self.dram.access(tx, cycle + self.config.l2_latency)
-                    latency += done - cycle
-            worst = max(worst, latency)
-        total_latency = worst + (ca.num_transactions - 1)
-
-        # Bounds checking (overlapped with the LSU pipeline, Figure 12).
-        allowed = True
-        stall = 0
-        security = getattr(job.launch, "security", None)
-        if self.bcu is not None and security is not None:
-            outcome = self.bcu.check(
-                security, request.base_pointer,
-                ca.min_addr, ca.max_addr,
-                is_store=request.is_store,
-                num_transactions=ca.num_transactions,
-                dcache_hit=all_dcache_hit,
-                tlb_miss=any_walk,
-                num_lanes=ca.active_lanes,
-                cycle=cycle)
-            allowed = outcome.allowed
-            stall = outcome.stall_cycles
-            self.stats.bcu_stall_cycles += stall
-            # Bounds resolution (e.g. an RBT fill) delays this warp's
-            # completion but overlaps the access's own latency (§5.5).
-            total_latency = max(total_latency, outcome.check_latency)
-
-        if not allowed:
-            # §5.5.2 logging policy: zero loads, drop stores silently.
-            if not request.is_store:
-                job.executor.deliver_load(
-                    warp, request,
-                    {lane: 0 for lane in request.active_lanes})
-            if self.tracer is not None:
-                self._trace(warp, request, cycle, ca.min_addr, ca.max_addr,
-                            ca.num_transactions, False)
-            return (total_latency, stall)
-
-        # Native page-granularity protection + functional access.
-        try:
-            for tx in ca.transactions:
-                self.space.translate(tx, is_store=request.is_store)
-        except IllegalAddressError as err:
-            raise KernelAborted(err) from err
-
-        if request.is_store:
-            self._do_stores(request)
-        else:
-            self._do_loads(warp, job, request)
-        if self.tracer is not None:
-            self._trace(warp, request, cycle, ca.min_addr, ca.max_addr,
-                        ca.num_transactions, True)
-        return (total_latency, stall)
-
-    def _trace(self, warp: WarpState, request: MemRequest, cycle: int,
-               lo: int, hi: int, transactions: int, allowed: bool) -> None:
-        from repro.analysis.trace import TraceEvent
-        self.tracer.record(TraceEvent(
-            cycle=cycle, core=self.core_id, warp_id=warp.warp_id,
-            kernel_id=warp.launch_key, space=request.space,
-            is_store=request.is_store, lo=lo, hi=hi,
-            transactions=transactions,
-            active_lanes=len(request.active_lanes), allowed=allowed))
-
-    def _do_loads(self, warp: WarpState, job: CoreJob,
-                  request: MemRequest) -> None:
-        memory = self.memory
-        dtype = request.dtype
-        values: Dict[int, object] = {}
-        addrs = request.lane_addrs
-        if dtype == "f32":
-            for lane in request.active_lanes:
-                values[lane] = memory.read_f32(addrs[lane])
-        elif dtype in ("i32", "i64"):
-            size = DTYPE_SIZE[dtype]
-            for lane in request.active_lanes:
-                values[lane] = memory.read_int(addrs[lane], size)
-        else:
-            size = DTYPE_SIZE[dtype]
-            for lane in request.active_lanes:
-                values[lane] = memory.read_uint(addrs[lane], size)
-        job.executor.deliver_load(warp, request, values)
-
-    def _do_stores(self, request: MemRequest) -> None:
-        memory = self.memory
-        dtype = request.dtype
-        addrs = request.lane_addrs
-        values = request.store_values
-        if dtype == "f32":
-            for lane in request.active_lanes:
-                memory.write_f32(addrs[lane], float(values[lane]))
-        else:
-            size = DTYPE_SIZE[dtype]
-            for lane in request.active_lanes:
-                memory.write_int(addrs[lane], size, int(values[lane]))
-
-    # -- shared memory ----------------------------------------------------------------------
-
-    def _shared_pad(self, warp: WarpState, job: CoreJob) -> bytearray:
-        key = (warp.launch_key, warp.wg)
-        pad = self._shared.get(key)
-        if pad is None:
-            size = max(4, job.executor.kernel.shared_bytes)
-            pad = bytearray(size)
-            self._shared[key] = pad
-        return pad
-
-    def _do_shared(self, warp: WarpState, job: CoreJob,
-                   request: MemRequest) -> None:
-        """Shared memory is on-chip and unprotected (Table 1): offsets wrap
-        inside the scratchpad, so intra-workgroup corruption is possible."""
-        pad = self._shared_pad(warp, job)
-        size = DTYPE_SIZE[request.dtype]
-        n = len(pad)
-        import struct as _struct
-        if request.is_store:
-            for lane in request.active_lanes:
-                off = request.lane_addrs[lane] % n
-                value = request.store_values[lane]
-                if request.dtype == "f32":
-                    blob = _struct.pack("<f", float(value))
-                else:
-                    lim = 1 << (size * 8)
-                    blob = ((int(value) + lim) % lim).to_bytes(size, "little")
-                end = min(off + size, n)
-                pad[off:end] = blob[:end - off]
-        else:
-            values: Dict[int, object] = {}
-            for lane in request.active_lanes:
-                off = request.lane_addrs[lane] % n
-                blob = bytes(pad[off:off + size]).ljust(size, b"\x00")
-                if request.dtype == "f32":
-                    values[lane] = _struct.unpack("<f", blob[:4])[0]
-                elif request.dtype in ("i32", "i64"):
-                    values[lane] = int.from_bytes(blob, "little", signed=True)
-                else:
-                    values[lane] = int.from_bytes(blob, "little")
-            job.executor.deliver_load(warp, request, values)
+        result = self.pipeline.access(warp, job, request, cycle)
+        if result.space != "shared":
+            # Shared memory is on-chip: no off-chip transactions counted.
+            self.stats.transactions += result.transactions
+        self.stats.bcu_stall_cycles += result.stall
+        return result.latency, result.stall

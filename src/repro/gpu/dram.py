@@ -15,7 +15,7 @@ cache-line granularity, the standard layout for GPU memory systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 

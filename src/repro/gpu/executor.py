@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.core.pointer import VA_MASK, tagged_add
 from repro.errors import IsaError
-from repro.isa.instructions import DTYPE_SIZE, Imm, Instr, Reg, Special
+from repro.isa.instructions import Imm, Instr, Reg, Special
 from repro.isa.program import Kernel
 
 

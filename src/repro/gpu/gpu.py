@@ -11,7 +11,7 @@ Supports the three execution modes of the evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 from typing import TYPE_CHECKING
 
@@ -76,6 +76,35 @@ class GPU:
                        else None)
             for i in range(config.num_cores)
         ]
+        self.stats = self._build_stats_registry()
+
+    def _build_stats_registry(self):
+        """Register every component's counters under one hierarchy."""
+        # Imported lazily: repro.analysis pulls the harness (and hence
+        # this module) back in at package-import time.
+        from repro.analysis.stats import StatsRegistry
+        registry = StatsRegistry()
+        registry.register("l2cache", self.l2cache.stats)
+        registry.register("l2tlb", self.l2tlb.stats)
+        registry.register("dram", self.dram.stats)
+        for core in self.cores:
+            prefix = f"cores.{core.core_id}"
+            registry.register(f"{prefix}.issue", core.stats)
+            registry.register(f"{prefix}.l1d", core.l1d.stats)
+            registry.register(f"{prefix}.const", core.const_cache.stats)
+            registry.register(f"{prefix}.tex", core.tex_cache.stats)
+            registry.register(f"{prefix}.l1tlb", core.l1tlb.stats)
+            if core.bcu is not None:
+                # The BCU swaps its stats object on reset; bind the unit.
+                registry.register(f"{prefix}.bcu",
+                                  lambda b=core.bcu: b.stats)
+                registry.register(f"{prefix}.rcache.l1", core.bcu.l1.stats)
+                registry.register(f"{prefix}.rcache.l2", core.bcu.l2.stats)
+        if self.shield.enabled:
+            registry.register(
+                "shield.log",
+                lambda: {"violations": len(self.shield.log)})
+        return registry
 
     def attach_tracer(self, tracer) -> None:
         """Record every warp memory access into an
@@ -185,18 +214,18 @@ class GPU:
     # -- statistics ---------------------------------------------------------------------
 
     def _counters(self) -> Tuple[int, int, int, int]:
-        return (sum(c.stats.instructions for c in self.cores),
-                sum(c.stats.mem_instructions for c in self.cores),
-                sum(c.stats.transactions for c in self.cores),
-                sum(c.stats.bcu_stall_cycles for c in self.cores))
+        snap = self.stats.snapshot()
+        return (int(snap.total("cores.*.issue.instructions")),
+                int(snap.total("cores.*.issue.mem_instructions")),
+                int(snap.total("cores.*.issue.transactions")),
+                int(snap.total("cores.*.issue.bcu_stall_cycles")))
 
     def _collect(self, per_core: List[int], aborted: bool, error: str,
                  before: Tuple[int, int, int, int]) -> LaunchResult:
         after = self._counters()
         instructions, mem, txs, stalls = (a - b for a, b in
                                           zip(after, before))
-        d_hits = sum(c.l1d.stats.hits for c in self.cores)
-        d_acc = sum(c.l1d.stats.accesses for c in self.cores)
+        snap = self.stats.snapshot()
         return LaunchResult(
             cycles=max(per_core) if per_core else 0,
             instructions=instructions,
@@ -205,11 +234,13 @@ class GPU:
             aborted=aborted,
             error=error,
             per_core_cycles=per_core,
-            l1d_hit_rate=(d_hits / d_acc) if d_acc else 1.0,
-            l1_rcache_hit_rate=self.shield.l1_hit_rate(),
-            l2_rcache_hit_rate=self.shield.l2_hit_rate(),
-            check_reduction_percent=self.shield.reduction_percent(),
+            l1d_hit_rate=snap.hit_rate("cores.*.l1d"),
+            l1_rcache_hit_rate=snap.hit_rate("cores.*.rcache.l1"),
+            l2_rcache_hit_rate=snap.hit_rate("cores.*.rcache.l2"),
+            check_reduction_percent=snap.ratio_percent(
+                "cores.*.bcu.checks_skipped_static",
+                "cores.*.bcu.mem_instructions"),
             bcu_stall_cycles=stalls,
-            rbt_fills=self.shield.total_rbt_fills(),
-            violations=len(self.shield.log),
+            rbt_fills=int(snap.total("cores.*.bcu.rbt_fills")),
+            violations=int(snap.get("shield.log.violations", 0)),
         )

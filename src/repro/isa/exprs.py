@@ -23,7 +23,7 @@ Nodes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 
 class Expr:

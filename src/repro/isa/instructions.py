@@ -12,7 +12,7 @@ actually shaped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 # -- operands -----------------------------------------------------------------

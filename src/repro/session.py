@@ -40,6 +40,11 @@ class GpuSession:
     def shield(self) -> GPUShield:
         return self.driver.shield
 
+    @property
+    def stats(self):
+        """The GPU's unified :class:`~repro.analysis.stats.StatsRegistry`."""
+        return self.gpu.stats
+
     def run(self, kernel: Kernel, args: Dict[str, ArgValue],
             workgroups: int, wg_size: int
             ) -> Tuple[LaunchResult, List[ViolationRecord]]:

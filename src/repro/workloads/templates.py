@@ -18,8 +18,8 @@ figures depend on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from repro.isa.builder import KernelBuilder
 from repro.isa.program import Kernel

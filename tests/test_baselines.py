@@ -3,7 +3,7 @@
 import pytest
 
 from repro import nvidia_config
-from repro.analysis.harness import WorkloadRunner, run_workload
+from repro.analysis.harness import run_workload
 from repro.baselines.canary import CanaryRunner
 from repro.baselines.gmod import GmodRunner
 from repro.baselines.memcheck import (

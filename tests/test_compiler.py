@@ -269,7 +269,7 @@ class TestBatSerialization:
     def _bat(self):
         b = KernelBuilder("k")
         a = b.arg_ptr("a")
-        n = b.arg_scalar("n")
+        _n = b.arg_scalar("n")
         j = b.ld_idx(a, b.gtid(), dtype="i32")
         b.st_idx(a, j, 0, dtype="i32")
         kernel = b.build()

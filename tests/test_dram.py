@@ -1,6 +1,5 @@
 """Tests for the DRAM timing model (FR-FCFS approximation)."""
 
-import pytest
 
 from repro.gpu.dram import Dram
 

@@ -6,7 +6,6 @@ from repro import GpuDriver, GPUShield, KernelBuilder, ShieldConfig
 from repro.core.pointer import PointerType, decode
 from repro.errors import IllegalAddressError, LaunchError
 from repro.gpu.config import intel_config, nvidia_config
-from tests.conftest import build_vecadd
 
 
 def make_driver(shield=True, config=None, seed=1):

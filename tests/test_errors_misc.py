@@ -1,6 +1,5 @@
 """Tests for the error taxonomy and small leftover surfaces."""
 
-import pytest
 
 from repro.errors import (
     AllocationError,

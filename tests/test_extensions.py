@@ -6,7 +6,6 @@
 * the future-work fine-grained heap protection.
 """
 
-import pytest
 
 from repro import (
     GpuSession,
@@ -15,7 +14,7 @@ from repro import (
     ShieldConfig,
     nvidia_config,
 )
-from repro.core.pointer import PointerType, decode
+from repro.core.pointer import decode
 
 
 def oob_kernel():

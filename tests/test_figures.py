@@ -1,9 +1,7 @@
 """Integration tests for the figure-regeneration engine (tiny scales)."""
 
-import pytest
 
 from repro.analysis import figures
-from repro.analysis.results import geomean
 from repro.gpu.config import intel_config, nvidia_config
 
 SMALL_NVIDIA = nvidia_config(num_cores=4)

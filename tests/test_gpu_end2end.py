@@ -8,7 +8,6 @@ import pytest
 
 from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
 from repro.gpu.config import intel_config
-from tests.conftest import build_vecadd
 
 
 def write_i32s(session, buf, values):

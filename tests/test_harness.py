@@ -97,7 +97,7 @@ class TestRecords:
 
 class TestInitKinds:
     def test_bad_init_rejected(self):
-        from repro.workloads.templates import BufferSpec, Workload
+        from repro.workloads.templates import BufferSpec
         wl = streaming("s", n=128, wg_size=64)
         wl.buffers[0] = BufferSpec(name="in0", nbytes=512, init="mystery")
         with pytest.raises(ValueError):

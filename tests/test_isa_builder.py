@@ -5,7 +5,7 @@ import pytest
 from repro.errors import IsaError
 from repro.isa import exprs
 from repro.isa.builder import KernelBuilder
-from repro.isa.instructions import Imm, Instr, Reg, Special
+from repro.isa.instructions import Imm, Instr, Reg
 from repro.isa.program import Kernel, KernelParam, MAX_KERNEL_ARGS
 
 

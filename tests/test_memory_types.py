@@ -7,7 +7,6 @@
 * read-only buffers (constant/texture stand-ins): writes rejected — No
 """
 
-import pytest
 
 from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
 

@@ -21,7 +21,7 @@ def run_and_read(workload, out_name, n_words, shield=True):
     record = runner.run()
     assert record.violations == 0
     blob = runner.session.driver.read(runner.buffers[out_name], n_words * 4)
-    inputs = {
+    _inputs = {
         name: np.frombuffer(
             runner.session.driver.read(buf, min(buf.size, n_words * 4)),
             dtype=np.float32)

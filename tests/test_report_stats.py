@@ -1,6 +1,5 @@
 """Tests for reporting helpers, partitioned RCaches, divergence stats."""
 
-import pytest
 
 from repro.analysis import report
 from repro.core.bounds import Bounds

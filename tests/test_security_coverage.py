@@ -16,7 +16,6 @@ from repro import (
     nvidia_config,
 )
 from repro.core.pointer import PointerType, decode, make_base_pointer
-from tests.conftest import build_oob_store
 
 
 def shielded_session(policy=ReportPolicy.LOG):
@@ -161,7 +160,7 @@ class TestPointerForging:
         honest = launch.arg_values["A"]
         tp = decode(honest)
         launch.arg_values["A"] = make_base_pointer(tp.va, tp.payload ^ 0x55)
-        launch_result = session.gpu.run(launch)
+        _launch_result = session.gpu.run(launch)
         viol = session.driver.finish(launch)
         assert any(v.reason in ("invalid-id", "out-of-bounds")
                    for v in viol)
@@ -202,7 +201,7 @@ class TestMindControlScenario:
     def _attack(self, shield: bool):
         kb = KernelBuilder("mindcontrol")
         weights = kb.arg_ptr("weights")
-        ftable = kb.arg_ptr("ftable")
+        _ftable = kb.arg_ptr("ftable")
         payload_at = kb.arg_scalar("payload_at")
         p = kb.setp("eq", kb.gtid(), 0)
         with kb.if_(p):

@@ -100,7 +100,7 @@ class TestRuntimeAgreement:
     @given(affine_kernel_case())
     @settings(max_examples=15, deadline=None)
     def test_forced_runtime_check_agrees(self, case):
-        from repro import GpuSession, GPUShield, ShieldConfig, nvidia_config
+        from repro import GPUShield, ShieldConfig, nvidia_config
         from repro.driver.driver import GpuDriver
         from repro.gpu.gpu import GPU
 

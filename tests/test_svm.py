@@ -1,6 +1,5 @@
 """Tests for the SVM mailbox and host-visible memory semantics."""
 
-import pytest
 
 from repro.core.violations import ViolationRecord
 from repro.driver.allocator import DeviceAllocator

@@ -1,6 +1,5 @@
 """Tests for compiler-inserted software bounds checks (§5.7 fallback)."""
 
-import pytest
 
 from repro import GpuSession, KernelBuilder, nvidia_config
 from repro.analysis.harness import run_workload

@@ -1,7 +1,6 @@
 """Direct tests of the workload templates: each builds, runs cleanly
 under GPUShield, and exhibits the access-pattern class it promises."""
 
-import pytest
 
 from repro import ShieldConfig, nvidia_config
 from repro.analysis.harness import run_workload

@@ -1,6 +1,5 @@
 """Tests for memory-access tracing."""
 
-import pytest
 
 from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
 from repro.analysis.trace import MemoryTracer, TraceEvent, render_summary
