@@ -69,11 +69,16 @@ ARTIFACTS = ["fig1", "fig11", "table3", "fig14", "fig15", "fig16",
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "fuzz":
+        # Forward to the fuzzing campaign CLI: python -m repro fuzz ...
+        from repro.fuzz.cli import main as fuzz_main
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate GPUShield paper tables/figures.")
     parser.add_argument("artifact",
-                        help="one of: list, " + ", ".join(ARTIFACTS))
+                        help="one of: list, fuzz, " + ", ".join(ARTIFACTS))
     parser.add_argument("--subset", type=int, default=None,
                         help="restrict sweeps to the first N benchmarks")
     args = parser.parse_args(argv)

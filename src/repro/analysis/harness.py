@@ -91,16 +91,27 @@ class WorkloadRunner:
                  config: Optional[GPUConfig] = None,
                  shield: Optional[ShieldConfig] = None,
                  config_name: str = "", seed: int = 11,
-                 allow_violations: bool = False, alloc_pad: int = 0):
+                 allow_violations: bool = False, alloc_pad: int = 0,
+                 launch_mutator: Optional[Callable] = None):
         """``alloc_pad`` grows every allocation by that many tail bytes —
         how canary tools (clArmor/GMOD) intercept ``malloc`` to make room
-        for their guard words."""
+        for their guard words.
+
+        ``launch_mutator(runner, launch, launch_index)`` is called on the
+        prepared launch context between ``driver.launch`` and ``gpu.run``
+        — the boundary where pointer-capture attacks (forged IDs,
+        stale-pointer replay) live, and where differential harnesses
+        capture per-launch ground truth (assigned region IDs, ciphers).
+        """
         self.workload = workload
         self.config = config or nvidia_config()
         self.session = GpuSession(self.config, shield=shield, seed=seed)
         self.config_name = config_name or self.config.name
         self.allow_violations = allow_violations
         self.alloc_pad = alloc_pad
+        self.launch_mutator = launch_mutator
+        #: All violation records drained across the most recent ``run()``.
+        self.last_violations: list = []
         self.buffers: Dict[str, Buffer] = {}
         for i, spec in enumerate(workload.buffers):
             region = getattr(spec, "region", "global")
@@ -138,6 +149,8 @@ class WorkloadRunner:
         record = RunRecord(benchmark=workload.name, config=self.config_name)
         driver = self.session.driver
         gpu = self.session.gpu
+        self.last_violations = []
+        launch_index = 0
         for _rep in range(workload.repeats):
             for run in workload.runs:
                 args = {}
@@ -147,6 +160,12 @@ class WorkloadRunner:
                     elif kind == "sizeof":
                         args[pname] = (self.buffers[value].size
                                        - self.alloc_pad)
+                    elif kind == "delta":
+                        src, dst, extra = value
+                        args[pname] = (self.buffers[dst].va
+                                       - self.buffers[src].va + extra)
+                    elif kind == "heap_off":
+                        args[pname] = driver.heap.limit + value
                     else:
                         args[pname] = value
                 if pre_launch is not None:
@@ -155,8 +174,12 @@ class WorkloadRunner:
                     record.cycles += pre_launch(self, None)
                 launch = driver.launch(run.kernel, args,
                                        run.workgroups, run.wg_size)
+                if self.launch_mutator is not None:
+                    self.launch_mutator(self, launch, launch_index)
+                launch_index += 1
                 result = gpu.run(launch)
                 violations = driver.finish(launch)
+                self.last_violations.extend(violations)
                 record.cycles += result.cycles
                 record.instructions += result.instructions
                 record.mem_instructions += result.mem_instructions

@@ -146,6 +146,24 @@ class StatsRegistry:
     def unregister(self, path: str) -> None:
         self._sources.pop(path, None)
 
+    def counters(self, path: str) -> Dict[str, Number]:
+        """Create-or-get a mutable counter dict registered at ``path``.
+
+        For components (campaign runners, host-side tools) that have no
+        counter dataclass of their own: callers bump keys in the returned
+        dict and the next :meth:`snapshot` picks them up live.  Raises if
+        ``path`` is already taken by a non-dict source.
+        """
+        source = self._sources.get(path)
+        if source is None:
+            source = {}
+            self.register(path, source)
+        if not isinstance(source, dict):
+            raise ValueError(
+                f"stats path {path!r} is already registered with a "
+                f"non-dict source")
+        return source
+
     def paths(self) -> List[str]:
         return sorted(self._sources)
 

@@ -1,0 +1,46 @@
+"""Differential fuzzing campaign for the GPUShield protection stack.
+
+The paper's security claim (Tables 1 & 4) is a *coverage* claim:
+GPUShield catches the out-of-bounds accesses that CUDA-MEMCHECK, clArmor
+and GMOD miss, with zero false positives.  Hand-written attack scenarios
+under-sample that space, so this package generates randomized workloads
+with machine-readable **attack manifests** (exact buffer/offset ground
+truth) and scores every protection configuration against them:
+
+* :mod:`repro.fuzz.spec` — the pure-data :class:`CaseSpec` (JSON
+  round-trippable) plus its validity invariants;
+* :mod:`repro.fuzz.generator` — seeded case drawing and materialisation
+  into runnable :class:`~repro.workloads.templates.Workload` objects,
+  including the launch-time attacks (forged IDs, stale-pointer replay)
+  that only exist at the driver boundary;
+* :mod:`repro.fuzz.campaign` — the differential runner: every case
+  through every config, scored against the expectation matrix;
+* :mod:`repro.fuzz.minimize` — greedy corpus minimisation for failing
+  cases (JSON reproducers replayable as standalone pytest cases);
+* :mod:`repro.fuzz.cli` — ``python -m repro.fuzz --seed/--cases/--budget``.
+"""
+
+from repro.fuzz.campaign import (
+    CONFIG_NAMES,
+    CampaignResult,
+    expectation,
+    run_campaign,
+    run_case,
+)
+from repro.fuzz.generator import CaseGenerator, build_workload
+from repro.fuzz.minimize import minimize
+from repro.fuzz.spec import ATTACK_KINDS, KINDS, CaseSpec
+
+__all__ = [
+    "ATTACK_KINDS",
+    "CONFIG_NAMES",
+    "CampaignResult",
+    "CaseGenerator",
+    "CaseSpec",
+    "KINDS",
+    "build_workload",
+    "expectation",
+    "minimize",
+    "run_campaign",
+    "run_case",
+]

@@ -1,0 +1,330 @@
+"""Case drawing and materialisation: CaseSpec -> runnable Workload.
+
+Every generated kernel shares one shape:
+
+1. an optional *benign phase* — a guarded streaming ring over all
+   buffers (``acc += b_k[gtid]`` for ``benign_rounds`` rounds, then
+   ``b0[gtid] = acc``) whose accesses are statically provable, so
+   GPUShield's compiler filters them (the realistic mixed workload);
+2. a thread-0 *attack/probe phase* that loads ``victim[0]`` and folds
+   the result into the offset (``off = atk + j*0``) — the loop-carried /
+   data-dependent idiom that keeps the pointer runtime-checked (Type 2)
+   and defeats the static analysis of *every* tool under test.
+
+Safe cases run the identical probe with an in-bounds offset, so the
+zero-false-positive claim is tested on the runtime-checked path, not on
+statically-filtered accesses.
+
+Launch-time attacks (``forged_id``, ``stale_replay``) cannot be
+expressed in the kernel: :class:`ShieldMutator` applies them between
+``driver.launch`` and ``gpu.run`` via the harness's ``launch_mutator``
+hook, and simultaneously captures the per-launch ground truth (honest
+pointer, cipher, local/heap region IDs) that attribution checks need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pointer import PointerType, decode, make_base_pointer
+from repro.fuzz.spec import ATTACK_KINDS, MAX_MARGIN, STORE_ONLY_KINDS, CaseSpec
+from repro.isa.builder import KernelBuilder
+from repro.workloads.templates import (
+    ArgSpec,
+    BufferSpec,
+    KernelRun,
+    Workload,
+    _buf,
+    _delta,
+    _heap_off,
+    _scalar,
+)
+
+#: Value planted by attack stores — recognisable in memory dumps.
+ATTACK_VALUE = 0x0BAD
+
+
+def _valid_elems(e: int) -> bool:
+    slack = (512 - (e * 4 % 512)) % 512
+    return e >= 2 and slack >= MAX_MARGIN + 8
+
+
+def nearest_valid_elems(e: int) -> int:
+    """Largest element count <= e whose alignment slack is usable."""
+    e = max(e, 2)
+    while e > 2 and not _valid_elems(e):
+        e -= 1
+    return e if _valid_elems(e) else 16
+
+
+class CaseGenerator:
+    """Deterministic case drawing: ``draw(i)`` depends only on (seed, i)."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def draw(self, index: int) -> CaseSpec:
+        rng = random.Random((self.seed << 20) ^ (index * 0x9E3779B1))
+        # Roughly one safe case in three: enough attack coverage while
+        # keeping the false-positive check statistically meaningful.
+        kind = (rng.choice(ATTACK_KINDS) if rng.random() < 2 / 3
+                else "safe")
+        return self.draw_kind(kind, index, rng)
+
+    def draw_kind(self, kind: str, index: int,
+                  rng: Optional[random.Random] = None) -> CaseSpec:
+        rng = rng or random.Random((self.seed << 20) ^ (index * 0x9E3779B1))
+        nbuf = rng.randint(3 if kind == "canary_jump" else 2, 6)
+        elems = nearest_valid_elems(rng.randint(16, 420))
+        victim = rng.randrange(1 if kind == "underflow" else 0, nbuf)
+        target = -1
+        inner = 0
+        if kind in ("inter_buffer", "canary_jump"):
+            others = [i for i in range(nbuf)
+                      if i != victim and (kind != "canary_jump"
+                                          or nbuf < 3
+                                          or abs(i - victim) >= 2)]
+            if not others:          # victim placement left no far target
+                victim = 0
+                others = [i for i in range(2, nbuf)]
+            target = rng.choice(others)
+            inner = rng.randrange(0, elems) * 4
+        margin = rng.randrange(1, MAX_MARGIN // 4 + 1) * 4
+        local_words = rng.randint(2, 6)
+        if kind == "local_var":
+            margin = rng.randrange(0, local_words)
+        is_store = (True if kind in STORE_ONLY_KINDS
+                    else rng.random() < 0.6)
+        spec = CaseSpec(
+            case_id=f"s{self.seed}-c{index:04d}-{kind}",
+            kind=kind,
+            seed=(self.seed << 20) ^ index,
+            elems=elems,
+            nbuf=nbuf,
+            victim=victim,
+            target=target,
+            margin=margin,
+            inner=inner,
+            probe=rng.randrange(0, elems),
+            attack_is_store=is_store,
+            benign_rounds=rng.randint(0, 3),
+            workgroups=rng.randint(1, 3),
+            wg_size=rng.choice((32, 64)),
+            local_words=local_words,
+        )
+        spec.validate()
+        return spec
+
+    def draw_many(self, count: int, start: int = 0) -> List[CaseSpec]:
+        return [self.draw(start + i) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Materialisation
+# ---------------------------------------------------------------------------
+
+
+def _attack_arg(spec: CaseSpec) -> ArgSpec:
+    """The ``atk`` scalar: the byte (or word) offset of the attack access,
+    resolved per-runner for the kinds whose ground truth depends on the
+    actual allocation layout."""
+    if spec.kind == "overflow":
+        return _scalar(spec.nbytes + spec.margin)
+    if spec.kind == "underflow":
+        return _scalar(-spec.margin)
+    if spec.kind in ("inter_buffer", "canary_jump"):
+        return _delta(f"b{spec.victim}", f"b{spec.target}", spec.inner)
+    if spec.kind == "heap":
+        return _heap_off(4096 + spec.margin)
+    if spec.kind == "local_var":
+        return _scalar(spec.local_words + spec.margin)
+    # safe / forged_id / stale_replay: an in-bounds probe; the attack (if
+    # any) happens at the launch boundary, not in the offset.
+    return _scalar(spec.probe * 4)
+
+
+def build_workload(spec: CaseSpec) -> Workload:
+    """Compile the case into a runnable workload (config-independent)."""
+    spec.validate()
+    b = KernelBuilder(f"fuzz_{spec.kind}")
+    ptrs = [b.arg_ptr(name) for name in spec.buffer_names]
+    atk = b.arg_scalar("atk")
+    nn = b.arg_scalar("n")
+    v1 = None
+    if spec.kind == "local_var":
+        v1 = b.local_var("v1", words_per_thread=spec.local_words)
+        b.local_var("v2", words_per_thread=spec.local_words)
+    gtid = b.gtid()
+
+    if spec.benign_rounds:
+        pred = b.setp("lt", gtid, nn)
+        with b.if_(pred):
+            acc = b.mov(0.0)
+            for _ in range(spec.benign_rounds):
+                for ptr in ptrs:
+                    acc = b.fadd(acc, b.ld_idx(ptr, gtid, dtype="f32"))
+            b.st_idx(ptrs[0], gtid, acc, dtype="f32")
+
+    victim = ptrs[spec.victim]
+    p0 = b.setp("eq", gtid, 0)
+    with b.if_(p0):
+        # Data-dependent offset: keeps the pointer runtime-checked.
+        j = b.ld_idx(victim, 0, dtype="i32")
+        off = b.add(atk, b.mul(j, 0))
+        if spec.kind == "heap":
+            hp = b.malloc(64)
+            b.st(hp, off, ATTACK_VALUE, dtype="i32")
+        elif spec.kind == "local_var":
+            b.st_local(v1, off, 7.0)
+        elif spec.attack_is_store:
+            b.st(victim, off, ATTACK_VALUE, dtype="i32")
+        else:
+            stolen = b.ld(victim, off, dtype="i32")
+            b.st(victim, 4, stolen, dtype="i32")
+    kernel = b.build()
+
+    args: Dict[str, ArgSpec] = {name: _buf(name)
+                                for name in spec.buffer_names}
+    args["atk"] = _attack_arg(spec)
+    args["n"] = _scalar(spec.elems)
+    run = KernelRun(kernel, args, workgroups=spec.workgroups,
+                    wg_size=spec.wg_size)
+    # Stale-pointer replay needs a second launch of the same kernel: the
+    # mutator re-injects launch 0's tagged pointer into launch 1.
+    runs = [run, run] if spec.kind == "stale_replay" else [run]
+    return Workload(
+        name=f"fuzz:{spec.case_id}",
+        buffers=[BufferSpec(name, spec.nbytes, "randf")
+                 for name in spec.buffer_names],
+        runs=runs,
+        category="fuzz",
+        suite="fuzz",
+        notes=spec.kind,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Launch-boundary attacks + ground-truth capture (shield config)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LaunchCapture:
+    """Ground truth harvested from one prepared launch context."""
+
+    victim_ptr: int = 0
+    victim_id: Optional[int] = None
+    local_va: Optional[int] = None
+    local_id: Optional[int] = None
+    heap_id: Optional[int] = None
+    heap_base: int = 0
+    heap_limit: int = 0
+    kernel_id: int = 0
+
+
+class ShieldMutator:
+    """``launch_mutator`` hook for the shield config.
+
+    Captures attribution ground truth from every launch and applies the
+    launch-boundary attacks (forged ID payloads, stale-pointer replay)
+    that exist below the kernel's ISA.  On unshielded launches pointers
+    carry no metadata, so both attacks degrade to harmless no-ops —
+    which is exactly the structural gap the expectation matrix encodes
+    for the software baselines.
+    """
+
+    #: XOR mask applied to the encrypted payload.  Non-zero, so the
+    #: decrypted ID is *guaranteed* to differ from the victim's.
+    FORGE_MASK = 0x1555
+
+    def __init__(self, spec: CaseSpec):
+        self.spec = spec
+        self.captures: List[LaunchCapture] = []
+        self._stale: Optional[int] = None
+
+    def __call__(self, runner, launch, index: int) -> None:
+        spec = self.spec
+        name = f"b{spec.victim}"
+        heap = runner.session.driver.heap
+        cap = LaunchCapture(heap_base=heap.base, heap_limit=heap.limit,
+                            kernel_id=launch.kernel_id)
+        cap.victim_ptr = launch.arg_values[name]
+        security = getattr(launch, "security", None)
+        if security is not None:
+            tp = decode(cap.victim_ptr)
+            if tp.ptype is PointerType.BASE:
+                cap.victim_id = security.cipher.decrypt(tp.payload)
+            local = launch.local_buffers.get("__local_v1")
+            if local is not None:
+                cap.local_va = local.va
+                lp = decode(launch.arg_values["__local_v1"])
+                if lp.ptype is PointerType.BASE:
+                    cap.local_id = security.cipher.decrypt(lp.payload)
+            if spec.kind == "heap":
+                hp = decode(launch.heap_pointer_tagger(heap.base))
+                if hp.ptype is PointerType.BASE:
+                    cap.heap_id = security.cipher.decrypt(hp.payload)
+        self.captures.append(cap)
+
+        if spec.kind == "forged_id" and security is not None:
+            tp = decode(launch.arg_values[name])
+            if tp.ptype is PointerType.BASE:
+                launch.arg_values[name] = make_base_pointer(
+                    tp.va, tp.payload ^ self.FORGE_MASK)
+        elif spec.kind == "stale_replay":
+            if index == 0:
+                self._stale = launch.arg_values[name]
+            else:
+                launch.arg_values[name] = self._stale
+
+
+@dataclass
+class ExpectedFault:
+    """The exact violation the shield must report for an attack case."""
+
+    lo: int
+    is_store: bool
+    buffer_id: Optional[int]        # None: attribution by address only
+    reasons: frozenset = field(default_factory=frozenset)
+
+    def matches(self, violation) -> bool:
+        return (violation.lo == self.lo
+                and violation.is_store == self.is_store
+                and violation.reason in self.reasons
+                and (self.buffer_id is None
+                     or violation.buffer_id == self.buffer_id))
+
+
+def expected_fault(spec: CaseSpec, runner,
+                   mutator: ShieldMutator) -> Optional[ExpectedFault]:
+    """Resolve the manifest's relative ground truth against one run."""
+    if spec.safe:
+        return None
+    cap = mutator.captures[-1]
+    victim_va = runner.buffers[f"b{spec.victim}"].va
+    oob = frozenset({"out-of-bounds"})
+    if spec.kind == "overflow":
+        return ExpectedFault(victim_va + spec.nbytes + spec.margin,
+                             spec.attack_is_store, cap.victim_id, oob)
+    if spec.kind == "underflow":
+        return ExpectedFault(victim_va - spec.margin,
+                             spec.attack_is_store, cap.victim_id, oob)
+    if spec.kind in ("inter_buffer", "canary_jump"):
+        target_va = runner.buffers[f"b{spec.target}"].va
+        return ExpectedFault(target_va + spec.inner,
+                             spec.attack_is_store, cap.victim_id, oob)
+    if spec.kind == "heap":
+        lo = cap.heap_base + cap.heap_limit + 4096 + spec.margin
+        return ExpectedFault(lo, True, cap.heap_id, oob)
+    if spec.kind == "local_var":
+        word = spec.local_words + spec.margin
+        lo = cap.local_va + word * spec.total_threads * 4
+        return ExpectedFault(lo, True, cap.local_id, oob)
+    # forged_id / stale_replay: the access itself is in bounds; the BCU
+    # rejects the ID (garbage decryption -> unassigned entry or foreign
+    # bounds), so the reason depends on what the bogus ID hit.
+    return ExpectedFault(victim_va + spec.probe * 4, True, None,
+                         frozenset({"invalid-id", "out-of-bounds",
+                                    "read-only"}))

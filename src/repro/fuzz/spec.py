@@ -1,0 +1,232 @@
+"""Fuzz-case specifications: pure data, JSON round-trippable.
+
+A :class:`CaseSpec` fully determines one generated workload — buffers,
+launch geometry, the benign phase, and (for attack kinds) the planted
+violation with its exact relative ground truth.  Keeping the spec pure
+data is what makes reproducer serialisation and corpus minimisation
+trivial: shrinking is `dataclasses.replace` + re-validation, and a
+failing case ships as a small JSON blob any pytest can replay.
+
+Attack kinds (paper Tables 1 & 4, §6.1):
+
+=================  =====================================================
+``safe``           no violation; an in-bounds indirect probe keeps the
+                   runtime-checked path exercised (false-positive test)
+``overflow``       store/load past the victim's end, within the 512B
+                   alignment slack (margin < 64 so canary tools see it)
+``underflow``      store/load before the victim's base (victim index >= 1
+                   keeps the address mapped)
+``inter_buffer``   lands *inside another buffer's data* — invisible to
+                   allocation-table tools (MEMCHECK) and canary tools
+``canary_jump``    far store over every canary region into another
+                   buffer's interior — clArmor/GMOD's blind spot (§4.1)
+``heap``           device-malloc pointer offset past the heap limit
+``local_var``      per-thread local array index escaping into the next
+                   local variable's region
+``stale_replay``   a tagged pointer captured from launch N replayed into
+                   launch N+1 (per-kernel keys must reject it)
+``forged_id``      the encrypted 14-bit ID payload is bit-flipped on an
+                   otherwise in-bounds pointer
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List
+
+KINDS = (
+    "safe",
+    "overflow",
+    "underflow",
+    "inter_buffer",
+    "canary_jump",
+    "heap",
+    "local_var",
+    "stale_replay",
+    "forged_id",
+)
+
+ATTACK_KINDS = tuple(k for k in KINDS if k != "safe")
+
+#: Kinds whose attack access is always a store (load variants would be
+#: meaningless or are deliberately excluded to keep the matrix crisp).
+STORE_ONLY_KINDS = frozenset(
+    {"canary_jump", "heap", "local_var", "stale_replay", "forged_id"})
+
+#: OOB margins are kept under the smallest canary pad (GMOD's 64 bytes)
+#: so overflow stores *must* be caught by canary tools — their
+#: documented coverage, which the campaign asserts still reproduces.
+MAX_MARGIN = 56
+
+_SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One generated case.  All sizes in elements/bytes as noted."""
+
+    case_id: str
+    kind: str
+    seed: int                 # generator sub-seed (recorded for audit)
+    elems: int                # f32 elements per global buffer (all equal)
+    nbuf: int                 # global buffers b0..b{nbuf-1}
+    victim: int               # index of the attacked buffer
+    target: int               # landing buffer (inter_buffer/canary_jump)
+    margin: int               # OOB byte distance; *words* for local_var
+    inner: int                # byte offset inside the target buffer
+    probe: int                # in-bounds probe element index
+    attack_is_store: bool
+    benign_rounds: int        # streaming rounds over the buffer ring
+    workgroups: int
+    wg_size: int
+    local_words: int          # words/thread of each local var (local_var)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def safe(self) -> bool:
+        return self.kind == "safe"
+
+    @property
+    def nbytes(self) -> int:
+        """Declared byte size of every global buffer."""
+        return self.elems * 4
+
+    @property
+    def total_threads(self) -> int:
+        return self.workgroups * self.wg_size
+
+    @property
+    def buffer_names(self) -> List[str]:
+        return [f"b{i}" for i in range(self.nbuf)]
+
+    @property
+    def victim_name(self) -> str:
+        if self.kind == "heap":
+            return "__heap"
+        if self.kind == "local_var":
+            return "__local_v1"
+        return f"b{self.victim}"
+
+    # -- invariants --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless every cross-field invariant holds.
+
+        The invariants encode the *determinism* of the expectation
+        matrix: e.g. the alignment-slack rule below guarantees that an
+        overflow/underflow lands in unowned slack for allocation-table
+        tools (MEMCHECK, software guards) in every config, instead of
+        silently crossing into the next buffer for some sizes.
+        """
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}")
+        if not 1 <= self.nbuf <= 8:
+            raise ValueError(f"nbuf {self.nbuf} out of range")
+        if not 0 <= self.victim < self.nbuf:
+            raise ValueError("victim index out of range")
+        if self.elems < 2:
+            raise ValueError("need at least two elements per buffer")
+        slack = (512 - (self.nbytes % 512)) % 512
+        if slack < MAX_MARGIN + 8:
+            # nbytes too close to (or at) a 512B multiple: the OOB margin
+            # could land inside the next allocation for some tools.
+            raise ValueError(
+                f"elems {self.elems} leaves only {slack}B of alignment "
+                f"slack; detection would depend on neighbour layout")
+        if self.workgroups < 1:
+            raise ValueError("workgroups must be positive")
+        if self.wg_size < 32 or self.wg_size % 32:
+            raise ValueError("wg_size must be a positive warp multiple")
+        if not 0 <= self.benign_rounds <= 4:
+            raise ValueError("benign_rounds out of range")
+        if not 0 <= self.probe < self.elems:
+            raise ValueError("probe index out of bounds")
+        if self.kind in STORE_ONLY_KINDS and not self.attack_is_store:
+            raise ValueError(f"{self.kind} cases must attack with a store")
+
+        if self.kind in ("overflow", "underflow"):
+            if not 4 <= self.margin <= MAX_MARGIN or self.margin % 4:
+                raise ValueError(f"bad OOB margin {self.margin}")
+        if self.kind == "underflow" and self.victim == 0:
+            # The region's very first buffer has no mapped page before it;
+            # an underflow there would natively fault and muddy the
+            # differential comparison.
+            raise ValueError("underflow victim must not be buffer 0")
+        if self.kind in ("inter_buffer", "canary_jump"):
+            if not 0 <= self.target < self.nbuf or self.target == self.victim:
+                raise ValueError("target must name a different buffer")
+            if not 0 <= self.inner <= self.nbytes - 4 or self.inner % 4:
+                raise ValueError(f"bad interior offset {self.inner}")
+            if (self.kind == "canary_jump" and self.nbuf >= 3
+                    and abs(self.target - self.victim) < 2):
+                raise ValueError("canary_jump must skip at least one buffer")
+        if self.kind == "heap" and (self.margin % 4 or self.margin < 0):
+            raise ValueError(f"bad heap margin {self.margin}")
+        if self.kind == "local_var":
+            if self.local_words < 1:
+                raise ValueError("local_words must be positive")
+            if not 0 <= self.margin < self.local_words:
+                # Keep the escape inside v2's (mapped) region.
+                raise ValueError("local margin must stay within v2")
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest(self) -> Dict[str, object]:
+        """The machine-readable attack manifest for this case.
+
+        Ground truth is *relative* (offsets from the victim's base):
+        absolute addresses depend on each config's allocator state, and
+        the campaign resolves them per run when checking attribution.
+        """
+        out: Dict[str, object] = {
+            "case_id": self.case_id,
+            "kind": self.kind,
+            "safe": self.safe,
+            "victim": self.victim_name,
+            "attack_is_store": self.attack_is_store,
+        }
+        if self.kind in ("overflow", "underflow"):
+            sign = 1 if self.kind == "overflow" else -1
+            base = self.nbytes if self.kind == "overflow" else 0
+            out["victim_offset"] = base + sign * self.margin
+        elif self.kind in ("inter_buffer", "canary_jump"):
+            out["lands_in"] = f"b{self.target}"
+            out["target_offset"] = self.inner
+        elif self.kind == "heap":
+            out["heap_offset_past_limit"] = 4096 + self.margin
+        elif self.kind == "local_var":
+            out["word_index"] = self.local_words + self.margin
+        elif self.kind in ("stale_replay", "forged_id", "safe"):
+            out["victim_offset"] = self.probe * 4
+        return out
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["version"] = _SPEC_VERSION
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CaseSpec":
+        data = dict(data)
+        version = data.pop("version", _SPEC_VERSION)
+        if version != _SPEC_VERSION:
+            raise ValueError(f"unsupported spec version {version}")
+        spec = cls(**data)   # type: ignore[arg-type]
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_json(cls, blob: str) -> "CaseSpec":
+        return cls.from_dict(json.loads(blob))
+
+    def with_(self, **changes) -> "CaseSpec":
+        """`dataclasses.replace` that keeps the frozen type."""
+        return replace(self, **changes)

@@ -24,7 +24,12 @@ from typing import Dict, List, Tuple, Union
 from repro.isa.builder import KernelBuilder
 from repro.isa.program import Kernel
 
-ArgSpec = Union[Tuple[str, str], Tuple[str, int]]   # ('buf', name) | ('scalar', v)
+# ('buf', name) | ('sizeof', name) | ('scalar', v)
+# | ('delta', (src, dst, extra))   -> dst.va - src.va + extra  (resolved
+#   against the runner's actual allocations — cross-buffer strides)
+# | ('heap_off', extra)            -> heap.limit + extra
+ArgSpec = Union[Tuple[str, str], Tuple[str, int],
+                Tuple[str, Tuple[str, str, int]]]
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,17 @@ def _buf(name: str) -> ArgSpec:
 
 def _scalar(value: int) -> ArgSpec:
     return ("scalar", value)
+
+
+def _delta(src: str, dst: str, extra: int = 0) -> ArgSpec:
+    """Byte distance from ``src``'s base to ``dst``'s base plus ``extra``."""
+    return ("delta", (src, dst, extra))
+
+
+def _heap_off(extra: int) -> ArgSpec:
+    """Byte offset relative to the device heap base: ``heap.limit + extra``
+    escapes the heap region by ``extra`` bytes."""
+    return ("heap_off", extra)
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,41 @@ import pytest
 from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
 from repro.gpu.config import intel_config
 
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # Pinned CI profile: property tests must not flake the tier-1 gate.
+    # ``deadline=None`` removes wall-clock sensitivity on loaded runners;
+    # ``derandomize=True`` makes example generation a pure function of
+    # the test body, so every run draws the same cases.
+    _hyp_settings.register_profile("ci", deadline=None, derandomize=True)
+    _hyp_settings.load_profile("ci")
+except ImportError:          # pragma: no cover - hypothesis not installed
+    pass
+
+
+def run_warp_to_exit(executor, warp, max_steps=200_000, on_mem=None):
+    """Drive one warp until its program exits; returns steps taken.
+
+    The shared run-to-exit loop: loads are satisfied with zeroes (or by
+    ``on_mem(executor, warp, request)`` when given), stores/barriers/
+    mallocs need no completion action.  Raises if the program does not
+    terminate within ``max_steps``.
+    """
+    for step in range(max_steps):
+        kind, payload = executor.step(warp)
+        if kind == "exit":
+            return step
+        if kind == "mem":
+            if on_mem is not None:
+                on_mem(executor, warp, payload)
+            elif not payload.is_store:
+                executor.deliver_load(
+                    warp, payload,
+                    {lane: 0 for lane in payload.active_lanes})
+        # "alu" / "bar" / "malloc" complete without a host action here.
+    raise AssertionError(f"did not terminate within {max_steps} steps")
+
 
 @pytest.fixture
 def tiny_config():

@@ -8,6 +8,7 @@ A second suite randomises structured control flow (nested if/loop).
 
 from hypothesis import given, settings, strategies as st
 
+from tests.conftest import run_warp_to_exit
 from repro.gpu.executor import Executor
 from repro.isa.builder import KernelBuilder
 
@@ -21,12 +22,7 @@ def execute(build_fn, wg_size=32, workgroups=1):
     ex = Executor(kernel, workgroups=workgroups, wg_size=wg_size,
                   warp_size=WARP, initial_regs={})
     warp = ex.make_warp(0, 0, 0)
-    for _ in range(200_000):
-        kind, _payload = ex.step(warp)
-        if kind == "exit":
-            break
-    else:
-        raise AssertionError("did not terminate")
+    run_warp_to_exit(ex, warp)
     return warp.regs[result_reg.index]
 
 

@@ -1,0 +1,159 @@
+"""Spec invariants, deterministic drawing, and workload materialisation."""
+
+import json
+
+import pytest
+
+from repro.fuzz import ATTACK_KINDS, KINDS, CaseGenerator, CaseSpec, build_workload
+from repro.fuzz.generator import nearest_valid_elems
+from repro.fuzz.spec import MAX_MARGIN, STORE_ONLY_KINDS
+
+
+def make_spec(**overrides):
+    base = dict(case_id="t0", kind="overflow", seed=3, elems=64, nbuf=2,
+                victim=0, target=-1, margin=8, inner=0, probe=1,
+                attack_is_store=True, benign_rounds=1, workgroups=1,
+                wg_size=32, local_words=2)
+    base.update(overrides)
+    return CaseSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes(self):
+        make_spec().validate()
+
+    @pytest.mark.parametrize("changes", [
+        {"kind": "bogus"},
+        {"nbuf": 0},
+        {"nbuf": 9},
+        {"victim": 5},                       # >= nbuf
+        {"elems": 1},
+        {"elems": 128},                      # 512B multiple: zero slack
+        {"wg_size": 20},                     # not a warp multiple
+        {"workgroups": 0},
+        {"probe": 64},                       # out of bounds
+        {"margin": 2},                       # unaligned OOB margin
+        {"margin": MAX_MARGIN + 4},          # beyond canary coverage
+        {"kind": "underflow", "victim": 0},  # unmapped predecessor
+        {"kind": "canary_jump", "nbuf": 3, "victim": 0, "target": 1,
+         "margin": 8},                       # adjacent: no canary jump
+        {"kind": "heap", "margin": 6},
+        {"kind": "local_var", "margin": 5},  # escapes past v2
+        {"kind": "forged_id", "attack_is_store": False},
+    ])
+    def test_invalid_specs_rejected(self, changes):
+        with pytest.raises(ValueError):
+            make_spec(**changes).validate()
+
+    def test_slack_rule_rejects_512_multiples(self):
+        # 128 elems * 4B = 512B: the next allocation starts contiguously,
+        # so an overflow would land inside it, not in unowned slack.
+        with pytest.raises(ValueError):
+            make_spec(elems=128).validate()
+        assert nearest_valid_elems(128) < 128
+
+    def test_json_round_trip(self):
+        spec = make_spec(kind="inter_buffer", target=1, inner=12)
+        again = CaseSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_from_dict_validates(self):
+        data = make_spec().to_dict()
+        data["elems"] = 1
+        with pytest.raises(ValueError):
+            CaseSpec.from_dict(data)
+
+
+class TestManifest:
+    def test_overflow_manifest_has_exact_offset(self):
+        m = make_spec(margin=12).manifest()
+        assert m["kind"] == "overflow"
+        assert m["victim"] == "b0"
+        assert m["victim_offset"] == 64 * 4 + 12
+        assert m["attack_is_store"] is True
+
+    def test_underflow_manifest_is_negative(self):
+        m = make_spec(kind="underflow", victim=1, margin=8).manifest()
+        assert m["victim_offset"] == -8
+        assert m["victim"] == "b1"
+
+    def test_inter_buffer_manifest_names_landing_buffer(self):
+        m = make_spec(kind="inter_buffer", target=1, inner=20).manifest()
+        assert m["lands_in"] == "b1"
+        assert m["target_offset"] == 20
+
+    def test_special_region_victims(self):
+        assert make_spec(kind="heap").manifest()["victim"] == "__heap"
+        assert (make_spec(kind="local_var", margin=1).manifest()["victim"]
+                == "__local_v1")
+        assert (make_spec(kind="local_var", margin=1).manifest()["word_index"]
+                == 3)
+
+    def test_safe_manifest_flags_safe(self):
+        m = make_spec(kind="safe").manifest()
+        assert m["safe"] is True
+
+
+class TestGenerator:
+    def test_draw_is_deterministic(self):
+        a = CaseGenerator(5).draw_many(30)
+        b = CaseGenerator(5).draw_many(30)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert CaseGenerator(5).draw_many(30) != CaseGenerator(6).draw_many(30)
+
+    def test_every_draw_validates(self):
+        for spec in CaseGenerator(2).draw_many(60):
+            spec.validate()
+            assert spec.kind in KINDS
+
+    def test_draw_kind_covers_all_kinds(self):
+        gen = CaseGenerator(3)
+        for kind in KINDS:
+            spec = gen.draw_kind(kind, 1)
+            assert spec.kind == kind
+            spec.validate()
+            if kind in STORE_ONLY_KINDS:
+                assert spec.attack_is_store
+
+    def test_mix_contains_safe_and_attacks(self):
+        kinds = {s.kind for s in CaseGenerator(1).draw_many(60)}
+        assert "safe" in kinds
+        assert kinds & set(ATTACK_KINDS)
+
+
+class TestBuildWorkload:
+    def test_buffers_and_args_match_spec(self):
+        spec = make_spec(nbuf=3, benign_rounds=2)
+        wl = build_workload(spec)
+        assert [b.name for b in wl.buffers] == ["b0", "b1", "b2"]
+        assert all(b.nbytes == spec.nbytes for b in wl.buffers)
+        run = wl.runs[0]
+        assert run.workgroups == spec.workgroups
+        assert run.wg_size == spec.wg_size
+        assert run.args["n"] == ("scalar", spec.elems)
+        assert run.args["atk"] == ("scalar", spec.nbytes + spec.margin)
+
+    def test_delta_and_heap_arg_kinds(self):
+        inter = build_workload(make_spec(kind="inter_buffer", target=1,
+                                         inner=8))
+        assert inter.runs[0].args["atk"] == ("delta", ("b0", "b1", 8))
+        heap = build_workload(make_spec(kind="heap"))
+        assert heap.runs[0].args["atk"] == ("heap_off", 4096 + 8)
+
+    def test_stale_replay_launches_twice(self):
+        wl = build_workload(make_spec(kind="stale_replay"))
+        assert len(wl.runs) == 2
+        assert wl.runs[0].kernel is wl.runs[1].kernel
+
+    def test_local_var_kernel_declares_two_locals(self):
+        wl = build_workload(make_spec(kind="local_var", margin=1))
+        names = [v.name for v in wl.runs[0].kernel.local_vars]
+        assert names == ["v1", "v2"]
+
+    def test_shipped_reproducer_parses(self):
+        with open("tests/data/reproducer_canary_jump.json") as fh:
+            spec = CaseSpec.from_dict(json.load(fh))
+        assert spec.kind == "canary_jump"
+        build_workload(spec)

@@ -4,7 +4,13 @@ import struct
 
 import pytest
 
-from repro import GpuSession, KernelBuilder, ShieldConfig, nvidia_config
+from repro import (
+    GpuSession,
+    KernelBuilder,
+    ReportPolicy,
+    ShieldConfig,
+    nvidia_config,
+)
 
 
 def fill_kernel(name, value):
@@ -109,6 +115,88 @@ class TestIsolation:
         all_viol = viol_good + viol_evil
         assert all_viol
         assert {v.kernel_id for v in all_viol} == {l_evil.kernel_id}
+
+
+def all_lanes_oob_kernel(name="flood"):
+    """Every lane of every warp stores far out of bounds — the BCU sees
+    one denied warp access per warp, many of them on the same cycle."""
+    b = KernelBuilder(name)
+    out = b.arg_ptr("out")
+    j = b.ld_idx(out, 0, dtype="i32")     # keeps 'out' runtime-checked
+    b.st_idx(out, b.add(b.add(1 << 16, b.gtid()), b.mul(j, 0)), 1,
+             dtype="i32")
+    return b.build()
+
+
+class TestReportPolicyEdgeCases:
+    """§5.5.2 policies under the situations the basic tests skip:
+    multiple warps faulting on the same cycle, and LOG vs PRECISE
+    (trap) behaviour across multi-kernel launches."""
+
+    def test_same_cycle_faults_get_one_record_per_warp(self):
+        session = GpuSession(nvidia_config(num_cores=2),
+                             shield=ShieldConfig(enabled=True))
+        buf = session.driver.malloc(256, name="out")
+        launch = session.driver.launch(all_lanes_oob_kernel(),
+                                       {"out": buf}, 2, 64)
+        session.gpu.run(launch)
+        viol = session.driver.finish(launch)
+
+        # 2 workgroups x 64 threads = 4 warps, one denied store each.
+        assert len(viol) == 4
+        assert {v.kernel_id for v in viol} == {launch.kernel_id}
+        assert len({v.buffer_id for v in viol}) == 1
+        assert all(v.is_store and v.reason == "out-of-bounds"
+                   for v in viol)
+        # The two cores run the same program in lockstep, so some faults
+        # share a cycle — attribution must stay per-warp regardless.
+        cycles = [v.cycle for v in viol]
+        assert len(set(cycles)) < len(cycles)
+        # Distinct warps fault at distinct addresses (gtid-dependent).
+        assert len({v.lo for v in viol}) == 4
+
+    def _pair(self, policy):
+        session = GpuSession(nvidia_config(num_cores=2),
+                             shield=ShieldConfig(enabled=True,
+                                                 policy=policy))
+        n = 64
+        good = session.driver.malloc(n * 4, name="good")
+        bad = session.driver.malloc(n * 4, name="bad")
+        b = KernelBuilder("evil")
+        out = b.arg_ptr("out")
+        p = b.setp("eq", b.gtid(), 0)
+        with b.if_(p):
+            j = b.ld_idx(out, 0, dtype="i32")
+            b.st_idx(out, b.add(1 << 16, j), 1, dtype="i32")
+        l_good = session.driver.launch(fill_kernel("good", 5),
+                                       {"out": good, "n": n}, 1, 64)
+        l_evil = session.driver.launch(b.build(), {"out": bad}, 1, 64)
+        result = session.gpu.run([l_good, l_evil], mode="intra_core")
+        viol = (session.driver.finish(l_good)
+                + session.driver.finish(l_evil))
+        return session, result, viol, good, bad, n
+
+    def test_log_policy_completes_multikernel_run(self):
+        session, result, viol, good, bad, n = self._pair(ReportPolicy.LOG)
+        assert not result.aborted
+        assert viol
+        # Only the evil kernel's ID appears; the good kernel is clean.
+        evil_ids = {v.kernel_id for v in viol}
+        assert len(evil_ids) == 1
+        assert read_i32s(session, good, n) == [5] * n
+        # The denied store was dropped, not redirected anywhere in 'bad'.
+        assert read_i32s(session, bad, n) == [0] * n
+
+    def test_precise_policy_traps_multikernel_run(self):
+        session, result, viol, _good, bad, n = self._pair(
+            ReportPolicy.PRECISE)
+        # The trap aborts the run at the faulting access (§5.5.2) ...
+        assert result.aborted
+        assert "precise bounds fault" in result.error
+        # ... before the record reaches the log (raise preempts append).
+        assert viol == []
+        # The faulting store never committed.
+        assert read_i32s(session, bad, n) == [0] * n
 
 
 class TestCoreAssignment:
