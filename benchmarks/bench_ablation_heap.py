@@ -57,10 +57,12 @@ def test_heap_malloc_slowdown(benchmark, publish):
              "(paper: 4.9-63.7x slowdown)"]
     for wgs, ratio in ratios.items():
         lines.append(f"  {wgs:4d} workgroups: {ratio:6.1f}x")
-    publish("ablation_heap", "\n".join(lines),
-            data={str(k): v for k, v in ratios.items()})
-
     values = list(ratios.values())
+    publish("ablation_heap", "\n".join(lines),
+            data={str(k): v for k, v in ratios.items()},
+            metrics={"min_slowdown": min(values),
+                     "max_slowdown": max(values)})
+
     assert min(values) > 2.0
     assert max(values) > 10.0
     # Slowdown grows with allocation parallelism.

@@ -59,7 +59,12 @@ def test_partitioned_rcache(benchmark, publish):
     for pair, v in data.items():
         lines.append(f"  {pair:22s} shared={100 * v['shared']:5.1f}  "
                      f"partitioned={100 * v['partitioned']:5.1f}")
-    publish("ablation_partition", "\n".join(lines), data=data)
+    publish("ablation_partition", "\n".join(lines), data=data,
+            metrics={"mean_shared_hit_rate":
+                     sum(v["shared"] for v in data.values()) / len(data),
+                     "mean_partitioned_hit_rate":
+                     sum(v["partitioned"] for v in data.values())
+                     / len(data)})
 
     shared = geomean([v["shared"] for v in data.values()])
     part = geomean([v["partitioned"] for v in data.values()])

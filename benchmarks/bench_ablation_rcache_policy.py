@@ -44,7 +44,11 @@ def test_fifo_vs_lru(benchmark, publish):
         cells = "  ".join(f"{100 * v[f'{p}-{e}']:6.1f}"
                           for p in ("fifo", "lru") for e in SIZES)
         lines.append(f"  {name:16s} {cells}")
-    publish("ablation_rcache_policy", "\n".join(lines), data=data)
+    publish("ablation_rcache_policy", "\n".join(lines), data=data,
+            metrics={"mean_fifo_4entry":
+                     sum(v["fifo-4"] for v in data.values()) / len(data),
+                     "mean_lru_4entry":
+                     sum(v["lru-4"] for v in data.values()) / len(data)})
 
     # At the design point (4 entries) the policies are within a point.
     fifo4 = geomean([v["fifo-4"] for v in data.values()])

@@ -52,7 +52,12 @@ def test_static_analysis_helps_software_schemes(benchmark, publish):
             f"sw+static={v['sw_static']:.3f} "
             f"({v['sw_static_instr']:.2f}x instr)  "
             f"gpushield={v['gpushield']:.3f}")
-    publish("ablation_static_for_sw", "\n".join(lines), data=data)
+    publish("ablation_static_for_sw", "\n".join(lines), data=data,
+            metrics={"mean_sw_naive":
+                     sum(v["sw_naive"] for v in data.values()) / len(data),
+                     "mean_sw_static":
+                     sum(v["sw_static"] for v in data.values())
+                     / len(data)})
 
     for name, v in data.items():
         # Static filtering never makes software checking worse...

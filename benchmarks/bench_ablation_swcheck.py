@@ -51,7 +51,10 @@ def test_software_checks_overhead(benchmark, publish):
     for variant, v in ratios.items():
         lines.append(f"  {variant:24s} cycles {100 * (v['cycles'] - 1):+6.1f}%"
                      f"   instructions {v['instructions']:.2f}x")
-    publish("ablation_swcheck", "\n".join(lines), data=ratios)
+    publish("ablation_swcheck", "\n".join(lines), data=ratios,
+            metrics={variant + "_cycle_overhead_percent":
+                     100 * (v["cycles"] - 1)
+                     for variant, v in ratios.items()})
 
     checked = ratios["checked"]
     # The mechanism: per-access checks double the executed instructions.

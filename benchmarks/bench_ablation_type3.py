@@ -46,7 +46,13 @@ def test_type3_offset_optimization(benchmark, publish):
             f"(RBT fills {v['type3_rbt_fills']})  "
             f"type2={v['type2_norm']:.3f} "
             f"(RBT fills {v['type2_rbt_fills']})")
-    publish("ablation_type3", "\n".join(lines), data=data)
+    publish("ablation_type3", "\n".join(lines), data=data,
+            metrics={"mean_type3_norm":
+                     sum(v["type3_norm"] for v in data.values())
+                     / len(data),
+                     "mean_type2_norm":
+                     sum(v["type2_norm"] for v in data.values())
+                     / len(data)})
 
     for name, v in data.items():
         # Type 3 eliminates RBT traffic for eligible buffers entirely

@@ -40,7 +40,11 @@ def test_warp_vs_lane_checking(benchmark, publish):
     for name, v in data.items():
         lines.append(f"  {name:14s} warp={v['warp']:.3f}  "
                      f"lane={v['lane']:.3f}")
-    publish("ablation_warpcheck", "\n".join(lines), data=data)
+    publish("ablation_warpcheck", "\n".join(lines), data=data,
+            metrics={"mean_warp_norm":
+                     sum(v["warp"] for v in data.values()) / len(data),
+                     "mean_lane_norm":
+                     sum(v["lane"] for v in data.values()) / len(data)})
 
     warp_gm = geomean([v["warp"] for v in data.values()])
     lane_gm = geomean([v["lane"] for v in data.values()])

@@ -7,7 +7,9 @@ def test_figure1(benchmark, publish):
     data = benchmark(figures.figure1)
     publish("figure01", figures.render_figure1(data),
             data={"summary": data["summary"],
-                  "rows": [{"suite": r.suite, **r.buckets}
-                           for r in data["rows"]]})
+                  "rows": [{"suite": r.suite, "total": r.total,
+                            **r.buckets} for r in data["rows"]]},
+            metrics={"benchmarks": data["summary"]["benchmarks"],
+                     "avg_buffers": data["summary"]["average"]})
     assert data["summary"]["benchmarks"] == 145
     assert abs(data["summary"]["average"] - 6.5) < 0.1

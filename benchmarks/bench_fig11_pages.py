@@ -5,8 +5,9 @@ from repro.analysis import figures
 
 def test_figure11(benchmark, publish):
     data = benchmark(figures.figure11)
-    publish("figure11", figures.render_figure11(data), data=data)
     avg = sum(data.values()) / len(data)
+    publish("figure11", figures.render_figure11(data), data=data,
+            metrics={"avg_pages_per_buffer": avg})
     # Paper: 1425 pages per buffer on average; shape check: within 2x.
     assert 700 < avg < 2900
     # The long tail (hybridsort-style) exists.

@@ -19,7 +19,9 @@ def test_figure15(benchmark, publish):
     publish("figure15",
             figures.render_rcache_sensitivity(data, "Figure 15 (Nvidia)"),
             data={k: {str(s): v for s, v in vals.items()}
-                  for k, vals in data.items()})
+                  for k, vals in data.items()},
+            metrics={"hit_rate_4entry":
+                     geomean([vals[4] for vals in data.values()])})
 
     for name, vals in data.items():
         sizes = sorted(vals)

@@ -7,9 +7,13 @@ Usage::
     python -m repro table3               # BCU area/power
     python -m repro fig14 --subset 8     # overhead sweep on 8 benchmarks
     python -m repro fig19                # software-tool comparison
+    python -m repro bench --jobs 4       # all sweeps on the parallel runner
+    python -m repro fuzz --cases 200     # differential fuzzing campaign
 
 Artefacts that need long sweeps accept ``--subset N`` to restrict to the
-first N benchmarks of the relevant set.
+first N benchmarks of the relevant set.  ``bench`` runs every artefact
+on the parallel runner (:mod:`repro.runner`) and records machine-
+readable results; see ``python -m repro bench --help``.
 """
 
 from __future__ import annotations
@@ -74,11 +78,16 @@ def main(argv=None) -> int:
         # Forward to the fuzzing campaign CLI: python -m repro fuzz ...
         from repro.fuzz.cli import main as fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # Forward to the bench driver: python -m repro bench --jobs N ...
+        from repro.analysis.bench import main as bench_main
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate GPUShield paper tables/figures.")
     parser.add_argument("artifact",
-                        help="one of: list, fuzz, " + ", ".join(ARTIFACTS))
+                        help="one of: list, fuzz, bench, "
+                             + ", ".join(ARTIFACTS))
     parser.add_argument("--subset", type=int, default=None,
                         help="restrict sweeps to the first N benchmarks")
     args = parser.parse_args(argv)

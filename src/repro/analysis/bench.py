@@ -1,0 +1,536 @@
+"""The bench driver: ``python -m repro bench`` on the parallel runner.
+
+Re-targets the ``benchmarks/`` sweeps (each a paper table/figure) onto
+:mod:`repro.runner`: every artefact becomes one or more ``bench.artifact``
+jobs — single-shot for the cheap tables, sharded by benchmark name for
+the big sweeps (Figures 14-19) — executed with crash isolation,
+timeouts and checkpointing, then merged back into exactly the structure
+the serial ``figures.*`` functions return.
+
+Every artefact also lands as a **machine-readable result record** under
+``benchmarks/results/`` (see :func:`write_result_record`: an envelope
+with the generating config, headline metrics like cycles/overhead %,
+and the raw series), and the driver collects the run into a top-level
+``BENCH_runner.json`` recording serial vs ``--jobs N`` wall-clock and
+fuzz-campaign cases/sec — the seed of the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import figures
+from repro.analysis.results import geomean
+
+RESULT_SCHEMA = 2
+
+#: Sharded sweeps: artefact -> item-list factory.  Items are the unit
+#: of sharding (benchmark names; name pairs for Figure 18).
+_SWEEPS = {
+    "fig14": lambda: _names("CUDA_BENCHMARKS"),
+    "fig15": lambda: _names("RCACHE_SENSITIVE"),
+    "fig16": lambda: _names("OPENCL_BENCHMARKS"),
+    "fig17": lambda: _names("RCACHE_SENSITIVE"),
+    "fig18": lambda: _pairs(),
+    "fig19": lambda: _names("RODINIA_FIG19"),
+}
+
+#: Single-job artefacts (no simulation sweep to shard).
+_SINGLES = ("fig1", "fig11", "table3")
+
+ARTIFACTS = tuple(_SINGLES) + tuple(_SWEEPS)
+
+
+def _names(suite_attr: str) -> List[str]:
+    from repro.workloads import suite
+    return list(getattr(suite, suite_attr))
+
+
+def _pairs() -> List[List[str]]:
+    from repro.workloads.suite import MULTIKERNEL_SET
+    return [[a, b] for i, a in enumerate(MULTIKERNEL_SET)
+            for b in MULTIKERNEL_SET[i + 1:]]
+
+
+# ---------------------------------------------------------------------------
+# Result records (shared with benchmarks/conftest.py)
+# ---------------------------------------------------------------------------
+
+
+def write_result_record(results_dir: str, name: str, text: str, *,
+                        data=None, config: Optional[dict] = None,
+                        metrics: Optional[dict] = None) -> str:
+    """Persist one artefact as ``<name>.txt`` + a JSON record.
+
+    The JSON envelope is the machine-readable contract every bench
+    emits: the configuration that produced the numbers, headline
+    metrics (cycles, overhead %), and the raw data series.
+    """
+    os.makedirs(results_dir, exist_ok=True)
+    txt_path = os.path.join(results_dir, f"{name}.txt")
+    with open(txt_path, "w") as fh:
+        fh.write(text + "\n")
+    record = {
+        "schema": RESULT_SCHEMA,
+        "name": name,
+        "config": config or default_record_config(),
+        "metrics": metrics or {},
+        "data": data,
+    }
+    json_path = os.path.join(results_dir, f"{name}.json")
+    with open(json_path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True, default=str)
+    return json_path
+
+
+def default_record_config() -> dict:
+    """The environment knobs that shaped a bench run."""
+    return {
+        "scale": float(os.environ.get("REPRO_SCALE", 1.0)),
+        "subset": (int(os.environ["REPRO_SUBSET"])
+                   if os.environ.get("REPRO_SUBSET") else None),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def collect_results(results_dir: str) -> Dict[str, dict]:
+    """Read every JSON result record under ``results_dir``."""
+    out: Dict[str, dict] = {}
+    if not os.path.isdir(results_dir):
+        return out
+    for entry in sorted(os.listdir(results_dir)):
+        if not entry.endswith(".json"):
+            continue
+        with open(os.path.join(results_dir, entry)) as fh:
+            try:
+                record = json.load(fh)
+            except json.JSONDecodeError:
+                continue
+        name = entry[:-len(".json")]
+        out[name] = record
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (kind "bench.artifact")
+# ---------------------------------------------------------------------------
+
+
+def _run_single(name: str) -> dict:
+    """Fully compute a single-job artefact: text, data, and metrics."""
+    if name == "fig1":
+        result = figures.figure1()
+        summary = result["summary"]
+        return {
+            "text": figures.render_figure1(result),
+            "data": {"summary": summary,
+                     "rows": [{"suite": r.suite, "total": r.total,
+                               **r.buckets} for r in result["rows"]]},
+            "metrics": {"benchmarks": summary["benchmarks"],
+                        "avg_buffers": summary["average"]},
+        }
+    if name == "fig11":
+        data = figures.figure11()
+        return {
+            "text": figures.render_figure11(data),
+            "data": data,
+            "metrics": {"avg_pages_per_buffer":
+                        sum(data.values()) / len(data)},
+        }
+    if name == "table3":
+        rows = figures.table3()
+        total = rows[-1]
+        return {
+            "text": figures.render_table3(rows),
+            "data": [r.__dict__ for r in rows],
+            "metrics": {"sram_bytes": total.sram_bytes,
+                        "area_mm2": total.area_mm2,
+                        "leakage_uw": total.leakage_uw,
+                        "dynamic_mw": total.dynamic_mw},
+        }
+    raise ValueError(f"unknown single artefact {name!r}")
+
+
+def _run_fragment(name: str, items: Sequence, seed: int) -> dict:
+    """Compute one shard of a sweep artefact (JSON-serializable)."""
+    if name == "fig14":
+        result = figures.figure14(list(items), seed=seed)
+        return {"per_benchmark": result.per_benchmark,
+                "cycles": sum(r.cycles for r in result.records)}
+    if name == "fig15":
+        return {"data": figures.figure15(list(items), seed=seed)}
+    if name == "fig16":
+        return {"data": figures.figure16(list(items), seed=seed)}
+    if name == "fig17":
+        result = figures.figure17(list(items), seed=seed)
+        return {"normalized": result.normalized,
+                "reduction": result.reduction}
+    if name == "fig18":
+        pairs = [tuple(p) for p in items]
+        return {"data": figures.figure18(pairs, seed=seed)}
+    if name == "fig19":
+        return {"data": figures.figure19(list(items), seed=seed)}
+    raise ValueError(f"unknown sweep artefact {name!r}")
+
+
+def run_artifact_job(payload: dict, ctx) -> dict:
+    """Runner entrypoint (kind ``bench.artifact``)."""
+    name = payload["artifact"]
+    counters = ctx.stats.counters("bench")
+    counters["fragments"] = 1
+    counters["items"] = len(payload.get("items") or [])
+    if name in _SINGLES:
+        return {"artifact": name, "final": _run_single(name)}
+    return {"artifact": name,
+            "fragment": _run_fragment(name, payload["items"],
+                                      int(payload["seed"]))}
+
+
+# ---------------------------------------------------------------------------
+# Parent-side merge: shard fragments -> the serial structures
+# ---------------------------------------------------------------------------
+
+
+def _int_keys(data: Dict[str, Dict[str, float]]) -> Dict[str, Dict[int, float]]:
+    """Undo JSON's stringification of the entries-sweep keys."""
+    return {name: {int(k): v for k, v in vals.items()}
+            for name, vals in data.items()}
+
+
+def _merge_union(fragments: List[dict], key: str = "data") -> dict:
+    merged: dict = {}
+    for frag in fragments:
+        merged.update(frag[key])
+    return merged
+
+
+def _finalize(name: str, payloads: List[dict]) -> dict:
+    """Merge ordered job payloads into {text, data, metrics}."""
+    if name in _SINGLES:
+        return payloads[0]["final"]
+    fragments = [p["fragment"] for p in payloads]
+
+    if name == "fig14":
+        from repro.workloads.suite import get_benchmark
+        per_bench = _merge_union(fragments, "per_benchmark")
+        cycles = sum(frag["cycles"] for frag in fragments)
+        per_cat: Dict[str, Dict[str, float]] = {}
+        for cat in figures.CATEGORY_ORDER:
+            members = [n for n in per_bench
+                       if get_benchmark(n).category == cat]
+            if members:
+                per_cat[cat] = {
+                    label: geomean([per_bench[n][label] for n in members])
+                    for label in next(iter(per_bench.values()))}
+        result = figures.OverheadResult(per_benchmark=per_bench,
+                                        per_category=per_cat)
+        overall = geomean([v["L1:1,L2:3"] for v in per_bench.values()])
+        return {"text": figures.render_figure14(result),
+                "data": {"per_benchmark": per_bench,
+                         "per_category": per_cat},
+                "metrics": {"cycles": cycles,
+                            "overhead_percent": (overall - 1.0) * 100.0}}
+    if name in ("fig15", "fig16"):
+        data = _int_keys(_merge_union(fragments))
+        title = "Figure 15 (Nvidia)" if name == "fig15" else \
+            "Figure 16 (Intel)"
+        return {"text": figures.render_rcache_sensitivity(data, title),
+                "data": {k: {str(s): v for s, v in vals.items()}
+                         for k, vals in data.items()},
+                "metrics": {"hit_rate_4entry":
+                            geomean([vals[4] for vals in data.values()])}}
+    if name == "fig17":
+        normalized = _merge_union(fragments, "normalized")
+        reduction = _merge_union(fragments, "reduction")
+        result = figures.StaticResult(normalized=normalized,
+                                      reduction=reduction)
+        with_static = geomean([v["L1:1,L2:5+static"]
+                               for v in normalized.values()])
+        return {"text": figures.render_figure17(result),
+                "data": {"normalized": normalized, "reduction": reduction},
+                "metrics": {
+                    "overhead_percent_static": (with_static - 1.0) * 100.0,
+                    "mean_reduction_percent":
+                        sum(reduction.values()) / max(len(reduction), 1)}}
+    if name == "fig18":
+        data = _merge_union(fragments)
+        return {"text": figures.render_figure18(data),
+                "data": data,
+                "metrics": {
+                    "overhead_percent_inter": (geomean(
+                        [v["inter_core"] for v in data.values()]) - 1)
+                    * 100.0,
+                    "overhead_percent_intra": (geomean(
+                        [v["intra_core"] for v in data.values()]) - 1)
+                    * 100.0}}
+    if name == "fig19":
+        data = _merge_union(fragments)
+        return {"text": figures.render_figure19(data),
+                "data": data,
+                "metrics": {
+                    "slowdown_memcheck": geomean(
+                        [v["cuda-memcheck"] for v in data.values()]),
+                    "slowdown_clarmor": geomean(
+                        [v["clarmor"] for v in data.values()]),
+                    "slowdown_gmod": geomean(
+                        [v["gmod"] for v in data.values()]),
+                    "gpushield_overhead_percent": (geomean(
+                        [v["gpushield"] for v in data.values()]) - 1)
+                    * 100.0}}
+    raise ValueError(f"unknown artefact {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+
+def plan_bench_jobs(artifacts: Sequence[str], *, jobs: int,
+                    subset: Optional[int] = None, seed: int = 11,
+                    timeout: float = 1800.0):
+    """One-or-more JobSpecs per artefact; sweeps shard when jobs > 1."""
+    from repro.runner import JobSpec, default_shard_count, shard_items
+
+    plan = []
+    for name in artifacts:
+        if name not in ARTIFACTS:
+            raise ValueError(f"unknown artefact {name!r} "
+                             f"(have {list(ARTIFACTS)})")
+        if name in _SINGLES:
+            plan.append(JobSpec(
+                job_id=f"bench-{name}", kind="bench.artifact", seed=seed,
+                timeout=timeout, max_retries=1, retry_backoff=0.5,
+                payload={"artifact": name, "items": None, "seed": seed}))
+            continue
+        items = _SWEEPS[name]()
+        if subset:
+            items = items[:subset]
+        shards = (default_shard_count(len(items), jobs, per_worker=2)
+                  if jobs > 1 else 1)
+        for i, chunk in enumerate(shard_items(items, shards)):
+            plan.append(JobSpec(
+                job_id=f"bench-{name}-{i:03d}", kind="bench.artifact",
+                seed=seed, timeout=timeout, max_retries=1,
+                retry_backoff=0.5,
+                payload={"artifact": name, "items": list(chunk),
+                         "seed": seed}))
+    return plan
+
+
+def run_bench_suite(artifacts: Optional[Sequence[str]] = None, *,
+                    jobs: int = 0, subset: Optional[int] = None,
+                    seed: int = 11,
+                    results_dir: str = "benchmarks/results",
+                    out_dir: Optional[str] = None,
+                    journal_path: Optional[str] = None,
+                    resume: bool = False, reporter=None,
+                    write_records: bool = True) -> dict:
+    """Run the artefact sweeps on the runner; returns a run summary."""
+    from repro.runner import HeartbeatReporter, run_jobs
+
+    artifacts = list(artifacts or ARTIFACTS)
+    plan = plan_bench_jobs(artifacts, jobs=jobs, subset=subset, seed=seed)
+    if reporter is None:
+        reporter = HeartbeatReporter(len(plan), label="bench")
+    report = run_jobs(plan, jobs=jobs, run_name="bench-suite",
+                      journal_path=journal_path, resume=resume,
+                      out_dir=out_dir, reporter=reporter,
+                      meta={"artifacts": artifacts, "subset": subset,
+                            "seed": seed})
+    if report.failures:
+        detail = "; ".join(f"{r.job_id}: {r.status} ({r.error})"
+                           for r in report.failures)
+        raise RuntimeError(f"{len(report.failures)} bench job(s) failed: "
+                           f"{detail}")
+
+    summary: Dict[str, dict] = {}
+    config = default_record_config()
+    config.update({"subset": subset, "seed": seed, "jobs": jobs})
+    for name in artifacts:
+        ordered = [report.results[s.job_id] for s in plan
+                   if s.payload["artifact"] == name]
+        final = _finalize(name, [r.payload for r in ordered])
+        wall = sum(r.wall_seconds for r in ordered)
+        if write_records:
+            record_name = {"fig1": "figure01", "fig11": "figure11",
+                           "table3": "table03"}.get(
+                               name, name.replace("fig", "figure"))
+            write_result_record(results_dir, record_name, final["text"],
+                                data=final["data"], config=config,
+                                metrics=final["metrics"])
+        summary[name] = {"metrics": final["metrics"],
+                         "jobs": len(ordered),
+                         "wall_seconds": round(wall, 3)}
+    return {
+        "artifacts": summary,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "jobs": jobs,
+        "stats": report.stats.as_dict(),
+        "manifest_path": report.manifest_path,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-campaign throughput (the cases/sec record in BENCH_runner.json)
+# ---------------------------------------------------------------------------
+
+
+def measure_fuzz_throughput(cases: int, seed: int, jobs: int,
+                            determinism_every: int = 25) -> dict:
+    """Time the same campaign serially and via the runner.
+
+    Also cross-checks that the parallel detection matrix (and the full
+    per-case outcome digest) is identical to the serial run — the
+    equivalence the runner promises.
+    """
+    from repro.fuzz.campaign import run_campaign
+    from repro.fuzz.generator import CaseGenerator
+    from repro.fuzz.parallel import (campaign_digest, merge_campaign,
+                                     plan_fuzz_shards)
+    from repro.gpu.config import nvidia_config
+    from repro.runner import run_jobs
+
+    specs = CaseGenerator(seed).draw_many(cases)
+
+    started = time.monotonic()
+    serial = run_campaign(specs, seed=seed,
+                          config=nvidia_config(num_cores=1),
+                          determinism_every=determinism_every)
+    serial_wall = time.monotonic() - started
+
+    plan = plan_fuzz_shards(specs, seed=seed, jobs=jobs,
+                            determinism_every=determinism_every)
+    started = time.monotonic()
+    report = run_jobs(plan, jobs=jobs, run_name=f"bench-fuzz-seed{seed}")
+    parallel = merge_campaign([report.results[s.job_id] for s in plan],
+                              seed=seed)
+    parallel_wall = time.monotonic() - started
+
+    return {
+        "cases": cases,
+        "seed": seed,
+        "serial": {
+            "wall_seconds": round(serial_wall, 3),
+            "cases_per_sec": round(cases / serial_wall, 2),
+        },
+        "parallel": {
+            "jobs": jobs,
+            "shards": len(plan),
+            "wall_seconds": round(parallel_wall, 3),
+            "cases_per_sec": round(cases / parallel_wall, 2),
+        },
+        "speedup": round(serial_wall / parallel_wall, 3),
+        "matrix_identical": serial.matrix() == parallel.matrix(),
+        "digest_identical":
+            campaign_digest(serial) == campaign_digest(parallel),
+        "expectation_failures": len(serial.failures),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro bench
+# ---------------------------------------------------------------------------
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the benchmark sweeps on the parallel runner "
+                    "and record machine-readable results.")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes (0 = serial in-process)")
+    parser.add_argument("--artifacts", default=None,
+                        help="comma-separated artefact subset "
+                             f"(default: all of {', '.join(ARTIFACTS)})")
+    parser.add_argument("--subset", type=int, default=None,
+                        help="restrict sweeps to the first N benchmarks")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--results-dir", default="benchmarks/results",
+                        help="where per-artefact records land")
+    parser.add_argument("--out", default="BENCH_runner.json",
+                        help="collected run record (the perf trajectory "
+                             "seed); '-' disables")
+    parser.add_argument("--manifest-dir", default=None,
+                        help="directory for run manifest + journal")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the manifest-dir journal")
+    parser.add_argument("--compare", action="store_true",
+                        help="also run the sweeps serially and record "
+                             "serial vs parallel wall-clock")
+    parser.add_argument("--skip-sweeps", action="store_true",
+                        help="only measure fuzz throughput")
+    parser.add_argument("--fuzz-cases", type=int, default=0,
+                        help="also time a fuzz campaign of N cases, "
+                             "serial vs parallel (0 = skip)")
+    parser.add_argument("--fuzz-seed", type=int, default=1)
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    artifacts = ([a.strip() for a in args.artifacts.split(",") if a.strip()]
+                 if args.artifacts else None)
+    record: Dict[str, object] = {
+        "schema": 1,
+        "generated_by": "python -m repro bench",
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+    }
+
+    if not args.skip_sweeps:
+        sweeps: Dict[str, object] = {}
+        if args.compare:
+            started = time.monotonic()
+            serial = run_bench_suite(
+                artifacts, jobs=0, subset=args.subset, seed=args.seed,
+                results_dir=args.results_dir, write_records=False)
+            sweeps["serial_wall_seconds"] = round(
+                time.monotonic() - started, 3)
+            del serial
+        started = time.monotonic()
+        summary = run_bench_suite(
+            artifacts, jobs=args.jobs, subset=args.subset, seed=args.seed,
+            results_dir=args.results_dir, out_dir=args.manifest_dir,
+            resume=args.resume)
+        sweeps["wall_seconds"] = round(time.monotonic() - started, 3)
+        sweeps["per_artifact"] = summary["artifacts"]
+        if args.compare and sweeps["wall_seconds"]:
+            sweeps["speedup_vs_serial"] = round(
+                sweeps["serial_wall_seconds"] / sweeps["wall_seconds"], 3)
+        record["sweeps"] = sweeps
+        for name, info in summary["artifacts"].items():
+            print(f"[bench] {name}: {info['jobs']} job(s), "
+                  f"{info['wall_seconds']:.1f}s, "
+                  f"metrics={json.dumps(info['metrics'], sort_keys=True)}")
+
+    if args.fuzz_cases > 0:
+        fuzz = measure_fuzz_throughput(args.fuzz_cases, args.fuzz_seed,
+                                       max(args.jobs, 1))
+        record["fuzz"] = fuzz
+        print(f"[bench] fuzz {fuzz['cases']} cases: serial "
+              f"{fuzz['serial']['wall_seconds']}s "
+              f"({fuzz['serial']['cases_per_sec']} cases/s), "
+              f"--jobs {fuzz['parallel']['jobs']} "
+              f"{fuzz['parallel']['wall_seconds']}s "
+              f"({fuzz['parallel']['cases_per_sec']} cases/s), "
+              f"speedup {fuzz['speedup']}x, matrix identical: "
+              f"{fuzz['matrix_identical']}")
+        if not (fuzz["matrix_identical"] and fuzz["digest_identical"]):
+            print("[bench] ERROR: parallel campaign diverged from serial",
+                  file=sys.stderr)
+            return 1
+
+    if args.out and args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+        print(f"[bench] run record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

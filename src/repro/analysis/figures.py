@@ -377,30 +377,29 @@ def render_figure18(data: Dict[str, Dict[str, float]]) -> str:
 
 def figure19(benchmarks: Optional[Sequence[str]] = None,
              config: Optional[GPUConfig] = None,
-             seed: int = 11) -> Dict[str, Dict[str, float]]:
-    from repro.baselines.canary import CanaryRunner
-    from repro.baselines.gmod import GmodRunner
-    from repro.baselines.memcheck import MemcheckRunner
+             seed: int = 11, jobs: int = 0) -> Dict[str, Dict[str, float]]:
+    """Tool slowdowns over the protection-config matrix.
 
-    config = config or nvidia_config()
+    The per-(benchmark, tool) cells come from
+    :func:`repro.analysis.harness.run_protection_matrix`; with
+    ``jobs>=1`` the cells fan out over the parallel runner (every cell
+    is an isolated session, so results are identical either way).
+    """
+    from repro.analysis.harness import run_protection_matrix
+
     names = list(benchmarks or RODINIA_FIG19)
+    matrix = run_protection_matrix(names, config=config, seed=seed,
+                                   jobs=jobs)
     out: Dict[str, Dict[str, float]] = {}
     for name in names:
-        bench = get_benchmark(name)
-        base = run_workload(bench.build(), config, None, "base", seed=seed)
-        shield_rec = run_workload(bench.build(), config, _shield(),
-                                  "gpushield", seed=seed)
-        # Per-access tool: rides the AccessChecker seam of the pipeline.
-        mc = MemcheckRunner(bench.build(), config, seed=seed).run()
-        # Launch-granularity tools: LaunchInterposer hooks in the harness.
-        ca = CanaryRunner(bench.build(), config, seed=seed).run()
-        gm = GmodRunner(bench.build(), config, seed=seed).run()
+        cells = matrix[name]
+        base = cells["base"]
         out[name] = {
-            "cuda-memcheck": mc.normalized_to(base),
-            "clarmor": ca.normalized_to(base),
-            "gmod": gm.normalized_to(base),
-            "gpushield": shield_rec.normalized_to(base),
-            "reduction": shield_rec.check_reduction_percent,
+            "cuda-memcheck": cells["cuda-memcheck"].normalized_to(base),
+            "clarmor": cells["clarmor"].normalized_to(base),
+            "gmod": cells["gmod"].normalized_to(base),
+            "gpushield": cells["gpushield"].normalized_to(base),
+            "reduction": cells["gpushield"].check_reduction_percent,
         }
     return out
 

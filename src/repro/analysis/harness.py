@@ -230,3 +230,106 @@ def run_benchmark(bench: BenchmarkDef, config: Optional[GPUConfig] = None,
     """Build and run a registered benchmark."""
     return run_workload(bench.build(), config=config, shield=shield,
                         config_name=config_name, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# The protection-config matrix
+# ---------------------------------------------------------------------------
+
+#: The protection tools a benchmark can run under — one column of the
+#: paper's tool-comparison matrix (Figure 19 derives overheads from it).
+MATRIX_TOOLS = ("base", "gpushield", "cuda-memcheck", "clarmor", "gmod")
+
+#: GPU configs the parallel matrix path can name in a job payload
+#: (payloads are JSON; an arbitrary GPUConfig object cannot travel).
+_NAMED_CONFIGS = {"nvidia": nvidia_config}
+
+
+def default_shield(**kw) -> ShieldConfig:
+    """The paper's default GPUShield configuration (L1:1,L2:3, static)."""
+    from repro.core.bcu import BCUConfig
+    return ShieldConfig(enabled=True, static_analysis=True,
+                        bcu=BCUConfig(l1_latency=1, l2_latency=3,
+                                      l1_entries=4), **kw)
+
+
+def run_matrix_cell(bench_name: str, tool: str,
+                    config: Optional[GPUConfig] = None,
+                    seed: int = 11) -> RunRecord:
+    """Run one (benchmark, protection tool) cell of the matrix.
+
+    Every cell builds a fresh workload and session, so cells are
+    independent of each other and of which process runs them — the
+    property that lets the matrix fan out over the parallel runner.
+    """
+    from repro.workloads.suite import get_benchmark
+    config = config or nvidia_config()
+    bench = get_benchmark(bench_name)
+    if tool == "base":
+        return run_workload(bench.build(), config, None, "base", seed=seed)
+    if tool == "gpushield":
+        return run_workload(bench.build(), config, default_shield(),
+                            "gpushield", seed=seed)
+    if tool == "cuda-memcheck":
+        from repro.baselines.memcheck import MemcheckRunner
+        return MemcheckRunner(bench.build(), config, seed=seed).run()
+    if tool == "clarmor":
+        from repro.baselines.canary import CanaryRunner
+        return CanaryRunner(bench.build(), config, seed=seed).run()
+    if tool == "gmod":
+        from repro.baselines.gmod import GmodRunner
+        return GmodRunner(bench.build(), config, seed=seed).run()
+    raise ValueError(f"unknown protection tool {tool!r} "
+                     f"(have {list(MATRIX_TOOLS)})")
+
+
+def matrix_cell_job(payload: dict, ctx) -> dict:
+    """Runner entrypoint (kind ``harness.matrix_cell``): one cell."""
+    config = _NAMED_CONFIGS[payload.get("gpu", "nvidia")]()
+    record = run_matrix_cell(payload["bench"], payload["tool"],
+                             config=config, seed=int(payload["seed"]))
+    ctx.stats.counters("matrix")["cells"] = 1
+    return {"bench": payload["bench"], "tool": payload["tool"],
+            "record": record.to_json()}
+
+
+def run_protection_matrix(benchmarks, tools=MATRIX_TOOLS, *,
+                          config: Optional[GPUConfig] = None,
+                          seed: int = 11, jobs: int = 0,
+                          reporter=None) -> Dict[str, Dict[str, RunRecord]]:
+    """The full matrix: ``benchmark -> tool -> RunRecord``.
+
+    ``jobs=0`` runs the cells serially in-process (accepting any
+    ``config`` object); ``jobs>=1`` fans one job per cell out over the
+    parallel runner (``config`` must then be the default — payloads
+    carry config by *name*).  Cell results are identical either way.
+    """
+    names = list(benchmarks)
+    if jobs <= 0:
+        return {name: {tool: run_matrix_cell(name, tool, config=config,
+                                             seed=seed)
+                       for tool in tools}
+                for name in names}
+    if config is not None:
+        raise ValueError("the parallel matrix runs the named default "
+                         "config; pass jobs=0 for a custom GPUConfig")
+    from repro.runner import JobSpec, run_jobs
+    plan = [JobSpec(job_id=f"matrix-{name}-{tool}",
+                    kind="harness.matrix_cell", seed=seed,
+                    timeout=600.0, max_retries=1, retry_backoff=0.5,
+                    payload={"bench": name, "tool": tool, "seed": seed,
+                             "gpu": "nvidia"})
+            for name in names for tool in tools]
+    report = run_jobs(plan, jobs=jobs, run_name="protection-matrix",
+                      reporter=reporter)
+    if report.failures:
+        detail = "; ".join(f"{r.job_id}: {r.status} ({r.error})"
+                           for r in report.failures)
+        raise RuntimeError(f"{len(report.failures)} matrix cell(s) "
+                           f"failed: {detail}")
+    out: Dict[str, Dict[str, RunRecord]] = {name: {} for name in names}
+    for result in report.results.values():
+        payload = result.payload
+        out[payload["bench"]][payload["tool"]] = RunRecord(
+            **payload["record"])
+    return out

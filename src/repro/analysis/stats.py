@@ -18,15 +18,30 @@ gives them one query surface:
 
 Sources may be counter dataclasses (numeric attributes are harvested),
 dicts, or zero-argument callables returning either.
+
+Cross-process aggregation (the parallel runner) works on snapshots:
+every worker ships ``registry.snapshot().as_dict()`` back to the
+parent, which folds them together with :func:`merge_snapshots` /
+:meth:`StatsRegistry.merge`.  Merging distinguishes **counters**
+(monotonic totals — hits, misses, cycles — which *sum*) from **gauges**
+(level-style values — capacities, high-water marks — which take the
+*max*); both rules are commutative and associative, so the merged tree
+is identical regardless of worker completion order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Tuple, Union
+from typing import (Callable, Dict, Iterable, List, Mapping, Sequence,
+                    Tuple, Union)
 
 Number = Union[int, float]
 StatsSource = Union[Mapping[str, Number], Callable[[], Mapping[str, Number]],
                     object]
+
+#: Leaf names treated as gauges by default when merging snapshots.
+#: Everything else is a counter.  Callers extend the set with the
+#: ``gauges=`` argument (leaf names, or full-path ``*`` patterns).
+DEFAULT_GAUGES = ("capacity", "peak", "high_water", "limit")
 
 
 def _counters_of(source: StatsSource) -> Dict[str, Number]:
@@ -50,6 +65,20 @@ def _match(pattern: Tuple[str, ...], path: Tuple[str, ...]) -> bool:
     if len(pattern) != len(path):
         return False
     return all(p == "*" or p == s for p, s in zip(pattern, path))
+
+
+def _is_gauge(path: str, gauges: Sequence[str]) -> bool:
+    """A path is a gauge if its leaf name — or the whole dotted path,
+    ``*``-wildcards allowed — appears in ``gauges``."""
+    leaf = path.rsplit(".", 1)[-1]
+    segs = tuple(path.split("."))
+    for g in gauges:
+        if "." not in g and "*" not in g:
+            if g == leaf:
+                return True
+        elif _match(tuple(g.split(".")), segs):
+            return True
+    return False
 
 
 class StatsSnapshot:
@@ -96,6 +125,19 @@ class StatsSnapshot:
             return 0.0
         return 100.0 * self.total(num_pattern) / den
 
+    # -- merging -----------------------------------------------------------------------
+
+    def merge(self, *others: "SnapshotLike",
+              gauges: Sequence[str] = DEFAULT_GAUGES) -> "StatsSnapshot":
+        """A new snapshot folding ``others`` into this one.
+
+        Colliding paths combine under the counter rule (sum) unless the
+        path is a gauge per ``gauges`` (leaf names or ``*`` patterns),
+        in which case the max wins.  Both rules are commutative and
+        associative: any merge order yields the same snapshot.
+        """
+        return merge_snapshots([self, *others], gauges=gauges)
+
     # -- export ------------------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Number]:
@@ -131,11 +173,44 @@ class StatsSnapshot:
         return "\n".join(lines)
 
 
+SnapshotLike = Union[StatsSnapshot, Mapping[str, Number]]
+
+
+def _values_of(snap: SnapshotLike) -> Dict[str, Number]:
+    if isinstance(snap, StatsSnapshot):
+        return snap.as_dict()
+    return {str(k): v for k, v in snap.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def merge_snapshots(snapshots: Iterable[SnapshotLike],
+                    gauges: Sequence[str] = DEFAULT_GAUGES) -> StatsSnapshot:
+    """Fold many snapshots (or flat path->value dicts) into one.
+
+    Counters sum; gauges (matched by leaf name or ``*`` path pattern)
+    take the max.  The result is independent of input order — the
+    property the parallel runner relies on to aggregate per-worker
+    statistics deterministically regardless of completion order.
+    """
+    merged: Dict[str, Number] = {}
+    for snap in snapshots:
+        for path, value in _values_of(snap).items():
+            if path not in merged:
+                merged[path] = value
+            elif _is_gauge(path, gauges):
+                merged[path] = max(merged[path], value)
+            else:
+                merged[path] = merged[path] + value
+    return StatsSnapshot(merged)
+
+
 class StatsRegistry:
     """Maps hierarchical component paths to live counter sources."""
 
     def __init__(self):
         self._sources: Dict[str, StatsSource] = {}
+        self._absorbed: List[Dict[str, Number]] = []
+        self._gauges: Tuple[str, ...] = tuple(DEFAULT_GAUGES)
 
     def register(self, path: str, source: StatsSource) -> None:
         """Attach a counter source under ``path`` (replaces any previous)."""
@@ -167,10 +242,26 @@ class StatsRegistry:
     def paths(self) -> List[str]:
         return sorted(self._sources)
 
+    def merge(self, snapshot: SnapshotLike,
+              gauges: Sequence[str] = ()) -> None:
+        """Absorb an external snapshot (e.g. shipped from a worker
+        process) so subsequent :meth:`snapshot` calls include it.
+
+        Absorbed values combine with live sources and with each other
+        under the counter/gauge collision rules of
+        :func:`merge_snapshots`; extra gauge patterns accumulate across
+        calls.
+        """
+        self._gauges = tuple(dict.fromkeys(self._gauges + tuple(gauges)))
+        self._absorbed.append(_values_of(snapshot))
+
     def snapshot(self) -> StatsSnapshot:
         """Flatten every registered source's counters, read live."""
         values: Dict[str, Number] = {}
         for path, source in self._sources.items():
             for name, value in _counters_of(source).items():
                 values[f"{path}.{name}"] = value
-        return StatsSnapshot(values)
+        if not self._absorbed:
+            return StatsSnapshot(values)
+        return merge_snapshots([values, *self._absorbed],
+                               gauges=self._gauges)

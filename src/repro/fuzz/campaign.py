@@ -90,8 +90,10 @@ class CaseOutcome:
     def ok(self) -> bool:
         return not self.cell_failures
 
-    def to_dict(self) -> Dict[str, object]:
-        return {
+    def to_dict(self, full: bool = False) -> Dict[str, object]:
+        """Report form by default; ``full=True`` adds everything needed
+        to reconstruct the outcome (the cross-process wire format)."""
+        out: Dict[str, object] = {
             "case_id": self.spec.case_id,
             "kind": self.spec.kind,
             "manifest": self.spec.manifest(),
@@ -101,6 +103,25 @@ class CaseOutcome:
             "attribution_ok": self.attribution_ok,
             "deterministic": self.deterministic,
         }
+        if full:
+            out["spec"] = self.spec.to_dict()
+            out["digests"] = dict(self.digests)
+            out["aborted"] = dict(self.aborted)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CaseOutcome":
+        """Rebuild a full-form outcome (see ``to_dict(full=True)``)."""
+        return cls(
+            spec=CaseSpec.from_dict(dict(data["spec"])),
+            detected=dict(data["detected"]),
+            expected=dict(data["expected"]),
+            cell_failures=list(data["failures"]),
+            attribution_ok=data.get("attribution_ok"),
+            digests=dict(data.get("digests", {})),
+            deterministic=data.get("deterministic"),
+            aborted=dict(data.get("aborted", {})),
+        )
 
 
 def _digest(runner: WorkloadRunner, spec: CaseSpec) -> str:
@@ -278,22 +299,14 @@ class CampaignResult:
         }
 
 
-def run_campaign(specs: Sequence[CaseSpec], *, seed: int = 0,
-                 config: Optional[GPUConfig] = None,
-                 configs: Sequence[str] = CONFIG_NAMES,
-                 determinism_every: int = 0,
-                 stats: Optional[StatsRegistry] = None,
-                 should_stop: Optional[Callable[[], bool]] = None,
-                 progress: Optional[Callable[[CaseOutcome], None]] = None,
-                 ) -> CampaignResult:
-    """Execute ``specs`` through every config and aggregate the scores.
+def init_campaign_counters(stats: StatsRegistry,
+                           configs: Sequence[str]) -> Dict[str, Dict]:
+    """Zero the campaign counter tree; returns the live counter dicts.
 
-    ``determinism_every=N`` re-runs every Nth case's shield config to
-    check cycle/content determinism (0 disables).  ``should_stop`` is
-    polled between cases (the CLI's ``--budget`` wall-clock cap); skipped
-    cases are *reported* as truncation, never silently dropped.
+    Shared between the serial loop and each parallel shard so every
+    execution mode bumps the *same* counter paths — what makes merged
+    per-shard snapshots sum to exactly the serial totals.
     """
-    stats = stats or StatsRegistry()
     campaign = stats.counters("fuzz.campaign")
     campaign.update({"cases": 0, "safe": 0, "attacks": 0,
                      "expectation_failures": 0, "truncated": 0})
@@ -302,29 +315,61 @@ def run_campaign(specs: Sequence[CaseSpec], *, seed: int = 0,
     for name in configs:
         per_config[name].update(
             {"detected": 0, "missed": 0, "false_positives": 0})
+    return {"campaign": campaign, "per_config": per_config}
+
+
+def tally_outcome(outcome: CaseOutcome, counters: Dict[str, Dict]) -> None:
+    """Fold one case outcome into the campaign counters."""
+    spec = outcome.spec
+    campaign, per_config = counters["campaign"], counters["per_config"]
+    campaign["cases"] += 1
+    campaign["safe" if spec.safe else "attacks"] += 1
+    if not outcome.ok:
+        campaign["expectation_failures"] += 1
+    for name, got in outcome.detected.items():
+        if spec.safe:
+            if got:
+                per_config[name]["false_positives"] += 1
+        elif got:
+            per_config[name]["detected"] += 1
+        else:
+            per_config[name]["missed"] += 1
+
+
+def run_campaign(specs: Sequence[CaseSpec], *, seed: int = 0,
+                 config: Optional[GPUConfig] = None,
+                 configs: Sequence[str] = CONFIG_NAMES,
+                 determinism_every: int = 0,
+                 index_base: int = 0,
+                 stats: Optional[StatsRegistry] = None,
+                 should_stop: Optional[Callable[[], bool]] = None,
+                 progress: Optional[Callable[[CaseOutcome], None]] = None,
+                 ) -> CampaignResult:
+    """Execute ``specs`` through every config and aggregate the scores.
+
+    ``determinism_every=N`` re-runs every Nth case's shield config to
+    check cycle/content determinism (0 disables); ``index_base`` offsets
+    the "Nth" arithmetic so a shard covering cases ``[base, base+k)`` of
+    a larger campaign re-checks exactly the cases the serial run would.
+    ``should_stop`` is polled between cases (the CLI's ``--budget``
+    wall-clock cap); skipped cases are *reported* as truncation, never
+    silently dropped.
+    """
+    stats = stats or StatsRegistry()
+    counters = init_campaign_counters(stats, configs)
 
     result = CampaignResult(seed=seed, stats=stats)
     for i, spec in enumerate(specs):
         if should_stop is not None and should_stop():
             result.truncated = len(specs) - i
-            campaign["truncated"] = result.truncated
+            counters["campaign"]["truncated"] = result.truncated
             break
-        check_det = bool(determinism_every) and i % determinism_every == 0
+        check_det = (bool(determinism_every)
+                     and (index_base + i) % determinism_every == 0)
         outcome = run_case(spec, config=config, configs=configs,
                            check_determinism=check_det)
         result.outcomes.append(outcome)
-        campaign["cases"] += 1
-        campaign["safe" if spec.safe else "attacks"] += 1
-        if not outcome.ok:
-            campaign["expectation_failures"] += 1
-        for name, got in outcome.detected.items():
-            if spec.safe:
-                if got:
-                    per_config[name]["false_positives"] += 1
-            elif got:
-                per_config[name]["detected"] += 1
-            else:
-                per_config[name]["missed"] += 1
+        tally_outcome(outcome, counters)
         if progress is not None:
             progress(outcome)
     return result

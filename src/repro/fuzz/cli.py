@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.fuzz --cases 200 --seed 1
+    python -m repro.fuzz --cases 200 --seed 1 --jobs 4 --out artifacts/
+    python -m repro.fuzz --cases 200 --seed 1 --jobs 4 --out artifacts/ --resume
     python -m repro.fuzz --cases 50 --seed 1 --budget 300 --out artifacts/
     python -m repro.fuzz --replay reproducer.json
     python -m repro.fuzz --kinds overflow,forged_id --configs shield,base
@@ -12,6 +14,15 @@ With ``--out`` the detection matrix (``detection_matrix.json``) and a
 minimised JSON reproducer per failure land in the output directory;
 ``--replay FILE`` re-runs one serialized reproducer instead of drawing
 fresh cases.
+
+``--jobs N`` shards the campaign across N worker processes on the
+parallel runner (:mod:`repro.runner`): per-shard timeouts, crash
+isolation, a checkpoint journal (``journal.jsonl``) and a run manifest
+(``run_manifest.json``) land next to the artifacts, and ``--resume``
+continues an interrupted campaign from its journal — the merged result
+is bit-identical to an uninterrupted run.  The per-case wall-clock
+``--budget`` applies to the serial path only; parallel campaigns bound
+time with per-shard timeouts instead.
 """
 
 from __future__ import annotations
@@ -56,7 +67,66 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--determinism-every", type=int, default=25,
                         help="re-run every Nth case's shield config to "
                              "check determinism (0 disables)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for the parallel runner "
+                             "(0 = serial in-process, the default)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count (default: jobs * 4, capped at "
+                             "the case count)")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="checkpoint journal path (default: "
+                             "<out>/journal.jsonl when --out is given)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from its "
+                             "checkpoint journal")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        help="per-shard timeout in seconds "
+                             "(default 900)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retry budget per shard for crashes/"
+                             "timeouts (default 1)")
     return parser.parse_args(argv)
+
+
+def _run_parallel(args, specs, configs):
+    """Shard the campaign onto the parallel runner and merge back."""
+    from repro.fuzz.parallel import (DEFAULT_SHARD_TIMEOUT, merge_campaign,
+                                     plan_fuzz_shards)
+    from repro.runner import HeartbeatReporter, run_jobs
+
+    jobs = max(args.jobs, 1)
+    journal = args.journal
+    if journal is None and args.out:
+        journal = os.path.join(args.out, "journal.jsonl")
+    if args.resume and journal is None:
+        print("--resume needs --journal FILE (or --out DIR to derive it)",
+              file=sys.stderr)
+        return None
+    plan = plan_fuzz_shards(
+        specs, seed=args.seed, jobs=jobs, shards=args.shards,
+        configs=configs, determinism_every=args.determinism_every,
+        timeout=args.shard_timeout or DEFAULT_SHARD_TIMEOUT,
+        max_retries=args.retries)
+    reporter = HeartbeatReporter(len(plan), label="fuzz")
+    report = run_jobs(
+        plan, jobs=jobs, run_name=f"fuzz-seed{args.seed}",
+        journal_path=journal, resume=args.resume, out_dir=args.out,
+        reporter=reporter,
+        meta={"cases": len(specs), "seed": args.seed,
+              "configs": list(configs)})
+    try:
+        result = merge_campaign(
+            [report.results[s.job_id] for s in plan], seed=args.seed)
+    except RuntimeError as exc:
+        print(f"campaign incomplete: {exc}", file=sys.stderr)
+        return None
+    cases_per_sec = (len(result.outcomes) / report.wall_seconds
+                     if report.wall_seconds else 0.0)
+    print(f"[fuzz] {len(result.outcomes)} cases via {len(plan)} shards "
+          f"on {jobs} workers in {report.wall_seconds:.1f}s "
+          f"({cases_per_sec:.1f} cases/s, {report.reused} shards reused "
+          "from journal)", file=sys.stderr)
+    return result
 
 
 def _replay(path: str, configs: List[str]) -> int:
@@ -91,25 +161,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         specs = gen.draw_many(args.cases)
 
-    deadline = (time.monotonic() + args.budget
-                if args.budget is not None else None)
-    should_stop = ((lambda: time.monotonic() > deadline)
-                   if deadline is not None else None)
-
-    done = 0
-
-    def progress(outcome) -> None:
-        nonlocal done
-        done += 1
-        if not outcome.ok:
-            print(f"[{done}/{len(specs)}] FAIL {outcome.spec.case_id}: "
-                  f"{'; '.join(outcome.cell_failures)}", file=sys.stderr)
-
     config = nvidia_config(num_cores=1)
-    result = run_campaign(specs, seed=args.seed, config=config,
-                          configs=configs,
-                          determinism_every=args.determinism_every,
-                          should_stop=should_stop, progress=progress)
+    if args.jobs > 0 or args.resume:
+        result = _run_parallel(args, specs, configs)
+        if result is None:
+            return 2
+    else:
+        deadline = (time.monotonic() + args.budget
+                    if args.budget is not None else None)
+        should_stop = ((lambda: time.monotonic() > deadline)
+                       if deadline is not None else None)
+
+        done = 0
+
+        def progress(outcome) -> None:
+            nonlocal done
+            done += 1
+            if not outcome.ok:
+                print(f"[{done}/{len(specs)}] FAIL {outcome.spec.case_id}: "
+                      f"{'; '.join(outcome.cell_failures)}", file=sys.stderr)
+
+        result = run_campaign(specs, seed=args.seed, config=config,
+                              configs=configs,
+                              determinism_every=args.determinism_every,
+                              should_stop=should_stop, progress=progress)
 
     print(result.render_matrix())
     print()

@@ -1,0 +1,133 @@
+"""The job model: pure-data units of parallel work.
+
+A :class:`JobSpec` is everything a worker process needs to execute one
+independent unit of a campaign or sweep: a stable id, an entrypoint
+*kind* (resolved through :mod:`repro.runner.kinds`), a JSON-serializable
+payload, a seed, and its failure policy (timeout, retry budget,
+backoff).  Specs are frozen and round-trip through JSON, which is what
+makes the checkpoint journal and ``--resume`` trivial: the plan can be
+fingerprinted, persisted, and re-derived bit-identically.
+
+A :class:`JobResult` separates **canonical** output (job id, status,
+payload, stats — deterministic, what merging consumes) from **runtime**
+telemetry (wall seconds, attempts, worker pid — useful in the manifest,
+excluded from result digests so an interrupted-and-resumed run merges
+bit-identically to an uninterrupted one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.stats import StatsRegistry
+
+#: Terminal statuses a job attempt can end in.
+OK, ERROR, CRASHED, TIMEOUT = "ok", "error", "crashed", "timeout"
+FAILURE_STATUSES = (ERROR, CRASHED, TIMEOUT)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of work.  Pure data, JSON round-trippable."""
+
+    job_id: str
+    kind: str                      # registry name or "module:function"
+    payload: Dict[str, object] = field(default_factory=dict)
+    seed: int = 0
+    timeout: Optional[float] = None   # seconds per attempt; None = unbounded
+    max_retries: int = 0              # extra attempts after the first
+    retry_backoff: float = 0.0        # base delay; doubles per retry
+
+    def validate(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if not self.kind:
+            raise ValueError(f"job {self.job_id}: kind must be non-empty")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"job {self.job_id}: bad timeout {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"job {self.job_id}: negative retry budget")
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        spec = cls(**data)   # type: ignore[arg-type]
+        spec.validate()
+        return spec
+
+
+def plan_fingerprint(specs: Sequence[JobSpec]) -> str:
+    """A stable digest of a job plan.
+
+    The journal records it so ``--resume`` can refuse to splice results
+    from a *different* plan (changed seed, shard count, payloads, …)
+    into this run.
+    """
+    blob = json.dumps([s.to_dict() for s in specs], sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job (after retries, the final attempt wins)."""
+
+    job_id: str
+    status: str                       # ok | error | crashed | timeout
+    payload: Dict[str, object] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    # -- runtime telemetry (excluded from canonical form) ------------------
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    reused: bool = False              # replayed from a checkpoint journal
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def canonical(self) -> Dict[str, object]:
+        """The deterministic slice of this result.
+
+        Merging and digests read only this: two runs that executed the
+        same plan — in any order, with any retry/crash history, resumed
+        or not — produce identical canonical forms.
+        """
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "payload": self.payload,
+            "stats": self.stats,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobResult":
+        return cls(**data)   # type: ignore[arg-type]
+
+
+def results_digest(results: Sequence[JobResult]) -> str:
+    """SHA-256 over the canonical forms, sorted by job id.
+
+    This is the bit-identity the resume guarantee is stated in: the
+    digest of a resumed run equals the digest of an uninterrupted one.
+    """
+    blob = json.dumps(sorted((r.canonical() for r in results),
+                             key=lambda c: c["job_id"]), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class JobContext:
+    """What a worker entrypoint receives besides its payload."""
+
+    spec: JobSpec
+    stats: StatsRegistry          # harvested and shipped back on exit
+    attempt: int = 1              # 1-based; bumps across retries

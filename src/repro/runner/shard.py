@@ -1,0 +1,72 @@
+"""The sharding planner: split a campaign into independent jobs.
+
+Sharding is pure arithmetic over item counts — no I/O, no randomness —
+so a plan is reproducible from (n_items, shards) alone and two
+processes planning the same campaign agree on every shard boundary.
+
+Contiguous chunking is the default: it preserves the serial enumeration
+order *within* each shard, which lets sharded consumers reproduce
+index-dependent behaviour (the fuzz campaign's every-Nth determinism
+re-check) exactly, and makes merging a simple ordered concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A half-open slice ``[start, stop)`` of the item sequence."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(n_items: int, shards: int) -> List[Shard]:
+    """Split ``n_items`` into at most ``shards`` contiguous shards.
+
+    Sizes differ by at most one (the first ``n_items % shards`` shards
+    take the extra item), no shard is empty, and concatenating the
+    slices in shard order reproduces the original sequence.
+    """
+    if n_items < 0:
+        raise ValueError(f"negative item count {n_items}")
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    shards = min(shards, n_items) or (1 if n_items == 0 else shards)
+    if n_items == 0:
+        return []
+    base, extra = divmod(n_items, shards)
+    out: List[Shard] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        out.append(Shard(index=i, start=start, stop=start + size))
+        start += size
+    return out
+
+
+def shard_items(items: Sequence[T], shards: int) -> List[Sequence[T]]:
+    """The planned slices applied to an actual sequence."""
+    return [items[s.start:s.stop] for s in plan_shards(len(items), shards)]
+
+
+def default_shard_count(n_items: int, jobs: int,
+                        per_worker: int = 4) -> int:
+    """How many shards to cut for a ``jobs``-worker pool.
+
+    ``per_worker`` shards per worker keeps the pool busy when shard
+    runtimes vary (stragglers hand their tail to idle workers) without
+    drowning small campaigns in per-process overhead.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return max(1, min(n_items, jobs * per_worker))

@@ -1,0 +1,76 @@
+"""The sharding planner: pure arithmetic, reproducible boundaries."""
+
+import pytest
+
+from repro.runner import Shard, default_shard_count, plan_shards, shard_items
+
+
+class TestPlanShards:
+    def test_even_split(self):
+        shards = plan_shards(12, 4)
+        assert [(s.start, s.stop) for s in shards] \
+            == [(0, 3), (3, 6), (6, 9), (9, 12)]
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+
+    def test_remainder_goes_to_leading_shards(self):
+        shards = plan_shards(10, 4)
+        assert [len(s) for s in shards] == [3, 3, 2, 2]
+
+    def test_sizes_differ_by_at_most_one_and_cover_everything(self):
+        for n_items in (1, 5, 17, 100, 257):
+            for n_shards in (1, 2, 3, 7, 16):
+                shards = plan_shards(n_items, n_shards)
+                sizes = [len(s) for s in shards]
+                assert max(sizes) - min(sizes) <= 1
+                assert all(size > 0 for size in sizes)
+                # Contiguous, ordered, complete coverage.
+                assert shards[0].start == 0
+                assert shards[-1].stop == n_items
+                for a, b in zip(shards, shards[1:]):
+                    assert a.stop == b.start
+
+    def test_never_more_shards_than_items(self):
+        assert len(plan_shards(3, 10)) == 3
+
+    def test_zero_items_is_empty_plan(self):
+        assert plan_shards(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(5, 0)
+
+
+class TestShardItems:
+    def test_concatenation_reproduces_the_sequence(self):
+        items = list(range(23))
+        chunks = shard_items(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_slices_preserve_serial_order_within_shard(self):
+        chunks = shard_items("abcdefg", 3)
+        assert [list(c) for c in chunks] \
+            == [["a", "b", "c"], ["d", "e"], ["f", "g"]]
+
+
+class TestDefaultShardCount:
+    def test_per_worker_multiplier(self):
+        assert default_shard_count(100, 4) == 16
+        assert default_shard_count(100, 4, per_worker=2) == 8
+
+    def test_capped_at_item_count(self):
+        assert default_shard_count(5, 4) == 5
+
+    def test_at_least_one(self):
+        assert default_shard_count(0, 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_shard_count(10, 0)
+
+
+def test_shard_is_frozen():
+    shard = Shard(index=0, start=0, stop=3)
+    with pytest.raises(AttributeError):
+        shard.start = 1

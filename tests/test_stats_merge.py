@@ -1,0 +1,100 @@
+"""Snapshot merging: counter/gauge collision rules and order independence.
+
+The parallel runner merges per-worker :class:`StatsSnapshot`s in
+whatever order jobs happen to finish; these tests pin the properties
+that make that safe — sum for counters, max for gauges, and full
+commutativity/associativity of :func:`merge_snapshots`.
+"""
+
+from itertools import permutations
+
+from repro.analysis.stats import (StatsRegistry, StatsSnapshot,
+                                  merge_snapshots)
+
+
+class TestMergeRules:
+    def test_counters_sum(self):
+        merged = merge_snapshots([{"l1.hits": 3, "l1.misses": 1},
+                                  {"l1.hits": 4},
+                                  {"l1.misses": 2, "dram.reads": 5}])
+        assert merged.as_dict() == {"l1.hits": 7, "l1.misses": 3,
+                                    "dram.reads": 5}
+
+    def test_default_gauges_take_max(self):
+        # "capacity"/"peak"/"high_water"/"limit" leaves are gauges: a
+        # worker's peak is not additive across workers.
+        merged = merge_snapshots([{"heap.peak": 10, "heap.allocs": 2},
+                                  {"heap.peak": 7, "heap.allocs": 3}])
+        assert merged.get("heap.peak") == 10
+        assert merged.get("heap.allocs") == 5
+
+    def test_gauge_by_leaf_name_applies_at_any_depth(self):
+        merged = merge_snapshots([{"a.b.c.capacity": 4},
+                                  {"a.b.c.capacity": 9}])
+        assert merged.get("a.b.c.capacity") == 9
+
+    def test_gauge_by_wildcard_full_path(self):
+        snaps = [{"cores.0.util": 80, "cores.0.cycles": 5},
+                 {"cores.0.util": 60, "cores.0.cycles": 7}]
+        merged = merge_snapshots(snaps, gauges=("cores.*.util",))
+        assert merged.get("cores.0.util") == 80
+        assert merged.get("cores.0.cycles") == 12
+        # The pattern matches exactly one segment per "*".
+        deep = merge_snapshots([{"cores.0.l1.util": 3},
+                                {"cores.0.l1.util": 4}],
+                               gauges=("cores.*.util",))
+        assert deep.get("cores.0.l1.util") == 7
+
+    def test_snapshot_merge_method_returns_new(self):
+        a = StatsSnapshot({"x": 1})
+        b = a.merge({"x": 2}, {"y": 3})
+        assert a.as_dict() == {"x": 1}
+        assert b.as_dict() == {"x": 3, "y": 3}
+
+
+class TestOrderIndependence:
+    SNAPS = [
+        {"fuzz.cases": 10, "heap.peak": 5, "rcache.capacity": 4},
+        {"fuzz.cases": 7, "heap.peak": 9},
+        {"fuzz.cases": 1, "rcache.capacity": 8, "dram.reads": 2},
+    ]
+
+    def test_merge_is_commutative_over_all_permutations(self):
+        reference = merge_snapshots(self.SNAPS).as_dict()
+        for perm in permutations(self.SNAPS):
+            assert merge_snapshots(perm).as_dict() == reference
+
+    def test_merge_is_associative(self):
+        a, b, c = self.SNAPS
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        flat = merge_snapshots([a, b, c])
+        assert left.as_dict() == right.as_dict() == flat.as_dict()
+
+
+class TestRegistryAbsorb:
+    def test_absorbed_snapshots_overlay_live_sources(self):
+        reg = StatsRegistry()
+        reg.counters("fuzz")["cases"] = 3
+        reg.merge({"fuzz.cases": 4, "fuzz.failures": 1})
+        reg.merge(StatsSnapshot({"fuzz.cases": 2}))
+        snap = reg.snapshot()
+        assert snap.get("fuzz.cases") == 9
+        assert snap.get("fuzz.failures") == 1
+        # Live sources stay live after an absorb.
+        reg.counters("fuzz")["cases"] = 5
+        assert reg.snapshot().get("fuzz.cases") == 11
+
+    def test_absorb_respects_gauge_rules(self):
+        reg = StatsRegistry()
+        reg.counters("heap")["peak"] = 6
+        reg.merge({"heap.peak": 4})
+        reg.merge({"heap.peak": 9})
+        assert reg.snapshot().get("heap.peak") == 9
+
+    def test_extra_gauge_patterns_accumulate(self):
+        reg = StatsRegistry()
+        reg.counters("cores.0")["util"] = 10
+        reg.merge({"cores.0.util": 30}, gauges=("cores.*.util",))
+        reg.merge({"cores.0.util": 20})
+        assert reg.snapshot().get("cores.0.util") == 30
