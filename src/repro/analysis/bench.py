@@ -329,7 +329,8 @@ def run_bench_suite(artifacts: Optional[Sequence[str]] = None, *,
                     out_dir: Optional[str] = None,
                     journal_path: Optional[str] = None,
                     resume: bool = False, reporter=None,
-                    write_records: bool = True) -> dict:
+                    write_records: bool = True,
+                    capture_finals: Optional[Dict[str, dict]] = None) -> dict:
     """Run the artefact sweeps on the runner; returns a run summary."""
     from repro.runner import HeartbeatReporter, run_jobs
 
@@ -355,6 +356,8 @@ def run_bench_suite(artifacts: Optional[Sequence[str]] = None, *,
         ordered = [report.results[s.job_id] for s in plan
                    if s.payload["artifact"] == name]
         final = _finalize(name, [r.payload for r in ordered])
+        if capture_finals is not None:
+            capture_finals[name] = final
         wall = sum(r.wall_seconds for r in ordered)
         if write_records:
             record_name = {"fig1": "figure01", "fig11": "figure11",
@@ -433,6 +436,126 @@ def measure_fuzz_throughput(cases: int, seed: int, jobs: int,
 
 
 # ---------------------------------------------------------------------------
+# Engine differential: slow vs fast, bit-identical by construction
+# ---------------------------------------------------------------------------
+
+
+def _digest_payload(payload) -> str:
+    """A stable 16-hex digest of a finalized artefact's observables."""
+    import hashlib
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def compare_engines(artifacts: Optional[Sequence[str]] = None, *,
+                    jobs: int = 0, subset: Optional[int] = None,
+                    seed: int = 11, fuzz_cases: int = 200,
+                    fuzz_seed: int = 1,
+                    results_dir: str = "benchmarks/results") -> dict:
+    """Run every artefact plus a fuzz campaign under both engines.
+
+    The fast lane's contract is *bit identity*: same cycles, same stats,
+    same memory contents, same violations.  This driver proves it the
+    blunt way — re-running the whole artefact suite and the PR-2 fuzz
+    corpus under each engine and comparing digests of everything each
+    produces ({text, data, metrics} per artefact; the full per-case
+    outcome digest, which covers cycle counts, for the campaign) — and
+    records the wall-clock speedup the fast lane buys into
+    ``BENCH_hotpath.json``.
+    """
+    from repro.engine import ENGINES, engine
+    from repro.fuzz.campaign import run_campaign
+    from repro.fuzz.generator import CaseGenerator
+    from repro.fuzz.parallel import campaign_digest
+    from repro.gpu.config import nvidia_config
+
+    artifacts = list(artifacts or ARTIFACTS)
+    specs = (CaseGenerator(fuzz_seed).draw_many(fuzz_cases)
+             if fuzz_cases > 0 else [])
+
+    legs: Dict[str, dict] = {}
+    for leg in ENGINES:
+        with engine(leg):
+            finals: Dict[str, dict] = {}
+            started = time.monotonic()
+            # Only the fast leg (the process default) leaves records in
+            # results_dir; the slow leg is measurement-only.
+            run_bench_suite(artifacts, jobs=jobs, subset=subset,
+                            seed=seed, results_dir=results_dir,
+                            write_records=(leg == "fast"),
+                            capture_finals=finals)
+            sweep_wall = time.monotonic() - started
+            fuzz_digest = None
+            fuzz_wall = 0.0
+            if specs:
+                started = time.monotonic()
+                campaign = run_campaign(specs, seed=fuzz_seed,
+                                        config=nvidia_config(num_cores=1))
+                fuzz_wall = time.monotonic() - started
+                fuzz_digest = campaign_digest(campaign)
+            legs[leg] = {
+                "wall_seconds": round(sweep_wall, 3),
+                "fuzz_wall_seconds": round(fuzz_wall, 3),
+                "digests": {a: _digest_payload(finals[a]) for a in finals},
+                "fuzz_digest": fuzz_digest,
+            }
+
+    slow, fast = legs["slow"], legs["fast"]
+    mismatches = sorted(a for a in slow["digests"]
+                        if slow["digests"][a] != fast["digests"][a])
+    fuzz_identical = slow["fuzz_digest"] == fast["fuzz_digest"]
+    identical = not mismatches and fuzz_identical
+    slow_total = slow["wall_seconds"] + slow["fuzz_wall_seconds"]
+    fast_total = fast["wall_seconds"] + fast["fuzz_wall_seconds"]
+    speedup = round(slow_total / fast_total, 3) if fast_total else None
+
+    lines = [f"Engine differential: {len(artifacts)} artefact(s) + "
+             f"{len(specs)} fuzz case(s) (seed {fuzz_seed}), "
+             f"slow vs fast", ""]
+    lines.append(f"{'artifact':<12} {'slow digest':<18} "
+                 f"{'fast digest':<18} match")
+    for name in artifacts:
+        s, f = slow["digests"][name], fast["digests"][name]
+        lines.append(f"{name:<12} {s:<18} {f:<18} "
+                     f"{'yes' if s == f else 'NO'}")
+    if specs:
+        lines.append(f"{'fuzz':<12} {str(slow['fuzz_digest']):<18} "
+                     f"{str(fast['fuzz_digest']):<18} "
+                     f"{'yes' if fuzz_identical else 'NO'}")
+    lines.append("")
+    lines.append(f"slow: {slow_total:.1f}s "
+                 f"(sweeps {slow['wall_seconds']}s, "
+                 f"fuzz {slow['fuzz_wall_seconds']}s)")
+    lines.append(f"fast: {fast_total:.1f}s "
+                 f"(sweeps {fast['wall_seconds']}s, "
+                 f"fuzz {fast['fuzz_wall_seconds']}s)")
+    lines.append(f"speedup: {speedup}x, digests identical: {identical}")
+    text = "\n".join(lines)
+
+    result = {
+        "identical": identical,
+        "mismatches": mismatches,
+        "fuzz_identical": fuzz_identical,
+        "speedup": speedup,
+        "legs": legs,
+        "text": text,
+    }
+    config = default_record_config()
+    config.update({"subset": subset, "seed": seed, "jobs": jobs,
+                   "fuzz_cases": len(specs), "fuzz_seed": fuzz_seed})
+    write_result_record(
+        results_dir, "BENCH_hotpath", text,
+        data={"artifacts": artifacts, "legs": legs,
+              "mismatches": mismatches},
+        config=config,
+        metrics={"speedup": speedup,
+                 "digests_identical": identical,
+                 "slow_wall_seconds": round(slow_total, 3),
+                 "fast_wall_seconds": round(fast_total, 3)})
+    return result
+
+
+# ---------------------------------------------------------------------------
 # CLI: python -m repro bench
 # ---------------------------------------------------------------------------
 
@@ -462,6 +585,12 @@ def _parse_args(argv):
     parser.add_argument("--compare", action="store_true",
                         help="also run the sweeps serially and record "
                              "serial vs parallel wall-clock")
+    parser.add_argument("--compare-engines", action="store_true",
+                        help="run every artefact and a fuzz campaign "
+                             "under both the slow and fast engines, "
+                             "fail on any digest mismatch, and record "
+                             "the speedup in BENCH_hotpath.json "
+                             "(--fuzz-cases defaults to 200 here)")
     parser.add_argument("--skip-sweeps", action="store_true",
                         help="only measure fuzz throughput")
     parser.add_argument("--fuzz-cases", type=int, default=0,
@@ -481,6 +610,20 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "jobs": args.jobs,
     }
+
+    if args.compare_engines:
+        result = compare_engines(
+            artifacts, jobs=args.jobs, subset=args.subset,
+            seed=args.seed, fuzz_cases=args.fuzz_cases or 200,
+            fuzz_seed=args.fuzz_seed, results_dir=args.results_dir)
+        print(result["text"])
+        if not result["identical"]:
+            print("[bench] ERROR: fast engine diverged from slow "
+                  f"(artifacts: {result['mismatches'] or 'none'}, "
+                  f"fuzz identical: {result['fuzz_identical']})",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     if not args.skip_sweeps:
         sweeps: Dict[str, object] = {}

@@ -86,6 +86,15 @@ class StatsSnapshot:
 
     def __init__(self, values: Dict[str, Number]):
         self._values = dict(values)
+        # Pre-split paths once and bucket them by segment count:
+        # select() runs per-figure over every counter, and a pattern
+        # can only ever match paths of its own depth, so re-splitting
+        # (or even scanning) the whole path set per query is waste
+        # that shows up on the bench sweeps.
+        self._by_len: Dict[int, List[Tuple[str, Tuple[str, ...]]]] = {}
+        for path in self._values:
+            segs = tuple(path.split("."))
+            self._by_len.setdefault(len(segs), []).append((path, segs))
 
     # -- queries -----------------------------------------------------------------------
 
@@ -97,9 +106,15 @@ class StatsSnapshot:
 
     def select(self, pattern: str) -> Dict[str, Number]:
         """All counters whose path matches the ``*``-wildcard pattern."""
-        pat = tuple(pattern.split("."))
-        return {path: value for path, value in self._values.items()
-                if _match(pat, tuple(path.split(".")))}
+        pat = pattern.split(".")
+        candidates = self._by_len.get(len(pat))
+        if not candidates:
+            return {}
+        # Only non-wildcard segments constrain the match.
+        fixed = [(i, p) for i, p in enumerate(pat) if p != "*"]
+        values = self._values
+        return {path: values[path] for path, segs in candidates
+                if all(segs[i] == p for i, p in fixed)}
 
     def total(self, pattern: str) -> Number:
         """Sum of every counter matching the pattern."""

@@ -103,10 +103,14 @@ class BoundsCheckingUnit:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def flush(self) -> None:
-        """Flush both RCache levels (kernel end / context switch, §5.5)."""
-        self.l1.flush()
-        self.l2.flush()
+    def flush(self, kernel_id: Optional[int] = None) -> None:
+        """Flush both RCache levels (kernel end / context switch, §5.5).
+
+        ``kernel_id`` scopes the flush to one terminating kernel's bank
+        when the RCaches are partitioned (§6.2); ``None`` flushes all.
+        """
+        self.l1.flush(kernel_id)
+        self.l2.flush(kernel_id)
 
     def reset_stats(self) -> None:
         self.stats = BCUStats()
@@ -133,9 +137,22 @@ class BoundsCheckingUnit:
             self.stats.checks_skipped_static += 1
             return CheckOutcome(allowed=True, stall_cycles=0)
 
-        if tp.ptype is PointerType.OFFSET_OPT and self.config.type3_enabled:
-            return self._check_type3(ctx, tp, lo, hi, is_store=is_store,
-                                     num_lanes=num_lanes, cycle=cycle)
+        if tp.ptype is PointerType.OFFSET_OPT:
+            if self.config.type3_enabled:
+                return self._check_type3(ctx, tp, lo, hi, is_store=is_store,
+                                         num_lanes=num_lanes, cycle=cycle)
+            # Ablation (Type 3 off): the payload is a log2 size, not an
+            # encrypted buffer ID — running it through _check_type2 would
+            # decrypt garbage and fetch a bogus RBT entry.  The driver
+            # re-encodes eligible buffers as Type 2 at launch when the
+            # ablation is active, so only pointers tagged under a
+            # different configuration land here; check them against the
+            # true (power-of-two) region they encode, accounted as the
+            # Type-2 check the ablated hardware would have issued.
+            self.stats.checks_type2 += 1
+            return self._check_offset_range(ctx, tp, lo, hi,
+                                            is_store=is_store,
+                                            num_lanes=num_lanes, cycle=cycle)
 
         return self._check_type2(ctx, tp, lo, hi, is_store=is_store,
                                  num_transactions=num_transactions,
@@ -167,6 +184,13 @@ class BoundsCheckingUnit:
                      *, is_store: bool, num_lanes: int,
                      cycle: int) -> CheckOutcome:
         self.stats.checks_type3 += 1
+        return self._check_offset_range(ctx, tp, lo, hi, is_store=is_store,
+                                        num_lanes=num_lanes, cycle=cycle)
+
+    def _check_offset_range(self, ctx: KernelSecurityContext, tp,
+                            lo: int, hi: int, *, is_store: bool,
+                            num_lanes: int, cycle: int) -> CheckOutcome:
+        """Compare ``[lo, hi]`` against the pow2 region in the payload."""
         stall = self._lane_cost(num_lanes)
         size = 1 << tp.payload
         base = tp.va

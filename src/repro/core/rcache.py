@@ -114,9 +114,19 @@ class _BaseRCache:
             bank.popitem(last=False)
         bank[tag] = entry
 
-    def flush(self) -> None:
-        """Drop all entries (kernel termination / context switch, §5.5)."""
-        self._banks.clear()
+    def flush(self, kernel_id: Optional[int] = None) -> None:
+        """Drop entries (kernel termination / context switch, §5.5).
+
+        With per-kernel banks (§6.2's "double and partition" mitigation)
+        a terminating kernel drops only its own bank, so co-resident
+        kernels keep their entries.  ``kernel_id=None`` — a context
+        switch, or an unpartitioned cache whose single bank is shared —
+        clears everything.
+        """
+        if kernel_id is None or not self.partitioned:
+            self._banks.clear()
+        else:
+            self._banks.pop(kernel_id, None)
 
     def __len__(self) -> int:
         return sum(len(bank) for bank in self._banks.values())

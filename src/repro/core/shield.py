@@ -58,9 +58,21 @@ class GPUShield:
     def enabled(self) -> bool:
         return self.config.enabled
 
-    def make_bcu(self) -> BoundsCheckingUnit:
-        """Create the BCU for one shader core (shared violation log)."""
-        bcu = BoundsCheckingUnit(self.config.bcu, log=self.log)
+    def make_bcu(self, engine: str = "slow") -> BoundsCheckingUnit:
+        """Create the BCU for one shader core (shared violation log).
+
+        ``engine="fast"`` returns the bit-identical fast-lane variant
+        (memoized pointer decode, flat RCache banks) — see
+        :mod:`repro.engine`.
+        """
+        if engine == "fast":
+            # Imported lazily: fastpath pulls in the gpu package, which
+            # imports this module back at package-import time.
+            from repro.gpu.fastpath import FastBoundsCheckingUnit
+            bcu: BoundsCheckingUnit = FastBoundsCheckingUnit(
+                self.config.bcu, log=self.log)
+        else:
+            bcu = BoundsCheckingUnit(self.config.bcu, log=self.log)
         self._bcus.append(bcu)
         return bcu
 

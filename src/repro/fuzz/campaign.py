@@ -85,6 +85,9 @@ class CaseOutcome:
     digests: Dict[str, str] = field(default_factory=dict)
     deterministic: Optional[bool] = None
     aborted: Dict[str, bool] = field(default_factory=dict)
+    # Simulated cycles per config: covered by the campaign digest, which
+    # is how --compare-engines proves the fast lane is cycle-identical.
+    cycles: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +110,7 @@ class CaseOutcome:
             out["spec"] = self.spec.to_dict()
             out["digests"] = dict(self.digests)
             out["aborted"] = dict(self.aborted)
+            out["cycles"] = dict(self.cycles)
         return out
 
     @classmethod
@@ -121,6 +125,7 @@ class CaseOutcome:
             digests=dict(data.get("digests", {})),
             deterministic=data.get("deterministic"),
             aborted=dict(data.get("aborted", {})),
+            cycles=dict(data.get("cycles", {})),
         )
 
 
@@ -211,6 +216,7 @@ def run_case(spec: CaseSpec,
         else:
             raise ValueError(f"unknown config {name!r}")
         outcome.aborted[name] = record.aborted
+        outcome.cycles[name] = record.cycles
         if spec.safe:
             outcome.digests[name] = _digest(runner, spec)
 

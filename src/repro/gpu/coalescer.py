@@ -51,9 +51,13 @@ def coalesce(lane_addrs: Sequence[Optional[int]], access_size: int,
             hi = last
         first_seg = addr // line_size
         last_seg = last // line_size
-        segments.add(first_seg)
-        if last_seg != first_seg:
-            segments.add(last_seg)
+        if first_seg == last_seg:
+            segments.add(first_seg)
+        else:
+            # An access wider than two lines (access_size > 2*line_size,
+            # or a badly misaligned wide type) touches every line in
+            # between as well — emit the full segment range.
+            segments.update(range(first_seg, last_seg + 1))
     if active == 0:
         return None
     return CoalescedAccess(

@@ -66,6 +66,11 @@ class GPUConfig:
     # Device-memory layout
     alignment: int = 512             # default buffer alignment (§3.1)
 
+    # Execution engine: '' follows the process default (repro.engine);
+    # 'slow' pins the reference path, 'fast' the fast lane.  Both are
+    # bit-identical in cycles and stats — this is a speed knob only.
+    engine: str = ""
+
     @property
     def threads_per_core(self) -> int:
         return self.warp_size * self.max_warps_per_core

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bcu import BoundsCheckingUnit
+from repro.engine import resolve as resolve_engine
 from repro.errors import KernelAborted
 from repro.gpu.cache import Cache
 from repro.gpu.config import GPUConfig
@@ -69,7 +70,12 @@ class ShaderCore:
         self.memory = memory
         self.space = space
         self.bcu = bcu
-        self.pipeline = MemoryPipeline(
+        if resolve_engine(config.engine) == "fast":
+            from repro.gpu.fastpath import FastMemoryPipeline
+            pipeline_cls = FastMemoryPipeline
+        else:
+            pipeline_cls = MemoryPipeline
+        self.pipeline = pipeline_cls(
             core_id, config, memory, space, l2cache, l2tlb, dram,
             checker=bcu.as_checker() if bcu is not None else None)
         self.stats = CoreStats()
@@ -122,6 +128,14 @@ class ShaderCore:
         resident: List[Tuple[WarpState, CoreJob]] = []
         barrier_count: Dict[Tuple[int, int], int] = {}
         wg_live: Dict[Tuple[int, int], int] = {}
+        # Workgroups still owed per launch on this core: when a launch's
+        # count hits zero it has terminated here, and a partitioned BCU
+        # flushes just that kernel's RCache bank (§6.2) so co-resident
+        # kernels keep their entries.
+        launch_wgs: Dict[int, int] = {}
+        for job, _wg in assignments:
+            key = job.executor.launch_key
+            launch_wgs[key] = launch_wgs.get(key, 0) + 1
         cycle = 0
         next_warp_id = 0
 
@@ -143,15 +157,18 @@ class ShaderCore:
 
         refill()
         try:
-            cycle = self._run_loop(resident, barrier_count, wg_live, cycle,
-                                   refill)
+            cycle = self._run_loop(resident, barrier_count, wg_live,
+                                   launch_wgs, cycle, refill)
         finally:
             self.stats.cycles = max(self.stats.cycles, cycle)
         return cycle
 
-    def _run_loop(self, resident, barrier_count, wg_live, cycle,
+    def _run_loop(self, resident, barrier_count, wg_live, launch_wgs, cycle,
                   refill) -> int:
         last_issued = -1
+        stats = self.stats
+        alu_latency = self.config.alu_latency
+        sfu_latency = self.config.sfu_latency
         while resident:
             # Greedy-then-oldest: stay on the last issued warp if ready.
             chosen = -1
@@ -170,21 +187,21 @@ class ShaderCore:
                     soonest = min(soonest, warp.ready_at)
                 if chosen < 0:
                     if soonest >= _FAR_FUTURE:
-                        self.stats.cycles = max(self.stats.cycles, cycle)
+                        stats.cycles = max(stats.cycles, cycle)
                         raise KernelAborted(RuntimeError(
                             "barrier deadlock: all warps waiting"))
-                    self.stats.idle_cycles += soonest - cycle
+                    stats.idle_cycles += soonest - cycle
                     cycle = soonest
                     continue
 
             warp, job = resident[chosen]
             last_issued = chosen
             kind, payload = job.executor.step(warp)
-            self.stats.instructions += 1
+            stats.instructions += 1
 
             if kind == "alu":
-                latency = (self.config.sfu_latency if payload == "sfu"
-                           else self.config.alu_latency)
+                latency = (sfu_latency if payload == "sfu"
+                           else alu_latency)
                 warp.ready_at = cycle + latency
                 cycle += 1
             elif kind == "mem":
@@ -220,6 +237,14 @@ class ShaderCore:
                 wg_live[key] -= 1
                 if wg_live[key] == 0:
                     del wg_live[key]
+                    launch_wgs[key[0]] -= 1
+                    if (launch_wgs[key[0]] == 0 and self.bcu is not None
+                            and self.bcu.config.partition_rcache):
+                        # This kernel has terminated on this core: drop
+                        # only its RCache bank (§6.2) — survivors keep
+                        # theirs.  Flushing is timing- and stats-free,
+                        # and the kernel never probes again here.
+                        self.bcu.flush(key[0])
                     refill()
                 cycle += 1
 

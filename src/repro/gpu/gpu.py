@@ -16,6 +16,7 @@ from typing import List, Sequence, Tuple, Union
 from typing import TYPE_CHECKING
 
 from repro.core.shield import GPUShield
+from repro.engine import resolve as resolve_engine
 from repro.errors import BoundsViolation, KernelAborted, LaunchError
 from repro.gpu.cache import Cache
 from repro.gpu.core import CoreJob, ShaderCore
@@ -60,9 +61,16 @@ class GPU:
         self.config = driver.config
         self.shield: GPUShield = driver.shield
         config = self.config
-        self.l2cache = Cache(config.l2_bytes, config.l2_assoc,
-                             config.line_size, name="l2")
-        self.l2tlb = Tlb(config.l2tlb_entries, config.l2tlb_assoc, name="l2tlb")
+        self.engine = resolve_engine(config.engine)
+        if self.engine == "fast":
+            from repro.gpu.fastpath import FastCache, FastTlb
+            cache_cls, tlb_cls = FastCache, FastTlb
+        else:
+            cache_cls, tlb_cls = Cache, Tlb
+        self.l2cache = cache_cls(config.l2_bytes, config.l2_assoc,
+                                 config.line_size, name="l2")
+        self.l2tlb = tlb_cls(config.l2tlb_entries, config.l2tlb_assoc,
+                             name="l2tlb")
         self.dram = Dram(channels=config.dram_channels,
                          row_bytes=config.dram_row_bytes,
                          line_size=config.line_size,
@@ -72,8 +80,8 @@ class GPU:
         self.cores = [
             ShaderCore(i, config, driver.memory, driver.space,
                        self.l2cache, self.l2tlb, self.dram,
-                       bcu=self.shield.make_bcu() if self.shield.enabled
-                       else None)
+                       bcu=(self.shield.make_bcu(engine=self.engine)
+                            if self.shield.enabled else None))
             for i in range(config.num_cores)
         ]
         self.stats = self._build_stats_registry()
@@ -157,14 +165,27 @@ class GPU:
         result = self._collect(per_core, aborted, error, before)
         result.divergent_branches = sum(j.executor.divergent_branches
                                         for j in jobs)
-        # Kernel termination flushes the RCaches (§5.5).
+        # Kernel termination flushes the RCaches (§5.5).  Partitioned
+        # RCaches (§6.2) flush per terminating kernel so banks belonging
+        # to kernels outside this dispatch survive.
+        partitioned = (self.shield.enabled
+                       and self.shield.config.bcu.partition_rcache)
         for core in self.cores:
             if core.bcu is not None:
-                core.bcu.flush()
+                if partitioned:
+                    for launch in launches:
+                        core.bcu.flush(launch.kernel_id)
+                else:
+                    core.bcu.flush()
         return result
 
     def _make_job(self, launch: LaunchContext) -> CoreJob:
-        executor = Executor(
+        if self.engine == "fast":
+            from repro.gpu.fastpath import FastExecutor
+            executor_cls = FastExecutor
+        else:
+            executor_cls = Executor
+        executor = executor_cls(
             kernel=launch.kernel,
             workgroups=launch.workgroups,
             wg_size=launch.wg_size,

@@ -149,6 +149,25 @@ class TestType3:
         bcu.check(ctx, ptr, BASE, BASE + 3, is_store=False)
         assert bcu.stats.checks_type2 == 1
 
+    def test_disabled_type3_checks_true_region_not_garbage(self):
+        """Regression: with Type 3 ablated, an offset pointer's payload is
+        a log2 size — decrypting it as a buffer ID would fetch a garbage
+        RBT entry.  The fallback must compare against the true pow2
+        region (and never touch the RCache/RBT)."""
+        bcu = BoundsCheckingUnit(BCUConfig(type3_enabled=False))
+        ctx, _ = make_ctx()
+        ptr = make_offset_pointer(BASE, 10)   # true region: 1KB at BASE
+        ok = bcu.check(ctx, ptr, BASE, BASE + 1023, is_store=True)
+        assert ok.allowed
+        bad = bcu.check(ctx, ptr, BASE + 1024, BASE + 1027, is_store=True)
+        assert not bad.allowed
+        assert bad.violation.reason == "type3-offset"
+        assert bcu.stats.checks_type2 == 2      # billed as Type-2 checks
+        assert bcu.stats.checks_type3 == 0
+        assert bcu.stats.rbt_fills == 0         # no garbage RBT fetch
+        assert bcu.l1.stats.accesses == 0
+        assert bcu.l2.stats.accesses == 0
+
 
 class TestTiming:
     """Figure 12's stall rules."""
@@ -261,3 +280,29 @@ class TestStats:
         bcu.flush()
         assert bcu.stats.checks_type2 == 1
         assert len(bcu.l1) == 0
+
+
+class TestType3AblationDirection:
+    def test_figure17_direction_holds_at_small_scale(self):
+        """The §5.3.3 ablation's direction (Figure 17): enabling Type 3
+        removes RBT traffic and never makes the Intel runs slower than
+        the Type-2-only configuration allows."""
+        from repro.analysis.harness import run_workload
+        from repro.core.shield import ShieldConfig
+        from repro.gpu.config import intel_config
+        from repro.workloads.suite import get_benchmark
+
+        config = intel_config(num_cores=2)
+        bench = get_benchmark("bfs", opencl=True)
+        base = run_workload(bench.build(), config, None, "base")
+        t3 = run_workload(
+            bench.build(), config,
+            ShieldConfig(enabled=True, bcu=BCUConfig(type3_enabled=True)),
+            "type3")
+        t2 = run_workload(
+            bench.build(), config,
+            ShieldConfig(enabled=True, bcu=BCUConfig(type3_enabled=False)),
+            "type2")
+        assert t3.rbt_fills <= t2.rbt_fills
+        assert t3.cycles / base.cycles < 1.05
+        assert t2.cycles / base.cycles < 1.10

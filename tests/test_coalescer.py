@@ -39,6 +39,16 @@ class TestBasics:
         assert ca.min_addr == 0x2000
         assert ca.max_addr == 0x2007
 
+    def test_wide_access_emits_full_segment_range(self):
+        """Regression: an access spanning >2 lines must emit *every*
+        intermediate transaction, not just the first and last segment."""
+        ca = coalesce([0], 512, 128)   # bytes 0..511 span four lines
+        assert ca.transactions == (0, 128, 256, 384)
+
+    def test_misaligned_wide_access_full_range(self):
+        ca = coalesce([100], 300, 128)   # bytes 100..399 span four lines
+        assert ca.transactions == (0, 128, 256, 384)
+
 
 ADDRS = st.lists(st.one_of(st.none(), st.integers(0, 1 << 30)),
                  min_size=1, max_size=32)
@@ -81,3 +91,17 @@ class TestProperties:
             return
         # Each active lane touches at most two segments.
         assert ca.num_transactions <= 2 * ca.active_lanes
+
+    @given(ADDRS, st.sampled_from([4, 64, 300, 512]))
+    def test_every_touched_line_is_a_transaction(self, addrs, size):
+        """Every line any byte of any lane's access falls in must appear
+        (the >2-line regression, property form)."""
+        ca = coalesce(addrs, size, 128)
+        if ca is None:
+            return
+        segments = {t // 128 for t in ca.transactions}
+        for a in addrs:
+            if a is None:
+                continue
+            for seg in range(a // 128, (a + size - 1) // 128 + 1):
+                assert seg in segments

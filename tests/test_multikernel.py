@@ -128,6 +128,69 @@ def all_lanes_oob_kernel(name="flood"):
     return b.build()
 
 
+class TestPartitionedFlushSurvivors:
+    def test_scoped_teardown_flush_keeps_foreign_banks(self):
+        """Regression for the kernel-scoped RCache flush: with §6.2
+        partitioned RCaches, terminating kernels must drop only their own
+        banks — entries belonging to a kernel outside the dispatch (e.g.
+        a co-resident long-running kernel) survive the teardown flush."""
+        from repro.core.bcu import BCUConfig
+        from repro.core.bounds import Bounds
+        from repro.core.rcache import RCacheEntry
+
+        session = GpuSession(
+            nvidia_config(num_cores=2),
+            shield=ShieldConfig(enabled=True,
+                                bcu=BCUConfig(partition_rcache=True)))
+        outsider = RCacheEntry(buffer_id=5, kernel_id=999,
+                               bounds=Bounds(base_addr=0x1000, size=64))
+        for core in session.gpu.cores:
+            core.bcu.l1.fill(outsider)
+            core.bcu.l2.fill(outsider)
+
+        n = 128
+        buf_a = session.driver.malloc(n * 4, name="a")
+        buf_b = session.driver.malloc(n * 4, name="b")
+        la = session.driver.launch(fill_kernel("ka", 111),
+                                   {"out": buf_a, "n": n}, 2, 64)
+        lb = session.driver.launch(fill_kernel("kb", 222),
+                                   {"out": buf_b, "n": n}, 2, 64)
+        result, viol = session.run_pair([la, lb], mode="intra_core")
+        assert result.ok and viol == []
+
+        for core in session.gpu.cores:
+            # The dispatched kernels' banks were flushed...
+            for launch in (la, lb):
+                for bank in core.bcu.l2._banks.values():
+                    assert not any(tag[0] == launch.kernel_id
+                                   for tag in bank)
+            # ...the outsider's bank survived.
+            assert (999, 5) in core.bcu.l1
+            assert (999, 5) in core.bcu.l2
+
+    def test_unpartitioned_teardown_flushes_everything(self):
+        """Baseline semantics are unchanged: without partitioning, kernel
+        termination clears the shared banks entirely (§5.5)."""
+        from repro.core.bounds import Bounds
+        from repro.core.rcache import RCacheEntry
+
+        session = GpuSession(nvidia_config(num_cores=2),
+                             shield=ShieldConfig(enabled=True))
+        outsider = RCacheEntry(buffer_id=5, kernel_id=999,
+                               bounds=Bounds(base_addr=0x1000, size=64))
+        for core in session.gpu.cores:
+            core.bcu.l2.fill(outsider)
+        n = 64
+        buf = session.driver.malloc(n * 4)
+        launch = session.driver.launch(fill_kernel("k", 1),
+                                       {"out": buf, "n": n}, 1, 64)
+        result = session.gpu.run([launch])
+        assert result.ok
+        for core in session.gpu.cores:
+            assert len(core.bcu.l1) == 0
+            assert len(core.bcu.l2) == 0
+
+
 class TestReportPolicyEdgeCases:
     """§5.5.2 policies under the situations the basic tests skip:
     multiple warps faulting on the same cycle, and LOG vs PRECISE

@@ -196,17 +196,19 @@ class TestCheckerSeam:
     def test_fake_checker_sees_the_bcu_ranges(self, monkeypatch):
         """A fake AccessChecker observes exactly the (min, max) ranges
         the BCU judges — the seam is the BCU's own vantage point."""
+        session = GpuSession(nvidia_config(num_cores=1),
+                             shield=ShieldConfig(enabled=True))
+        # Patch the class actually in use (the fast engine substitutes a
+        # BoundsCheckingUnit subclass that overrides check()).
+        bcu_cls = type(session.gpu.cores[0].bcu)
         bcu_ranges = []
-        real_check = BoundsCheckingUnit.check
+        real_check = bcu_cls.check
 
         def spy(self, ctx, pointer, lo, hi, **kw):
             bcu_ranges.append((lo, hi))
             return real_check(self, ctx, pointer, lo, hi, **kw)
 
-        monkeypatch.setattr(BoundsCheckingUnit, "check", spy)
-
-        session = GpuSession(nvidia_config(num_cores=1),
-                             shield=ShieldConfig(enabled=True))
+        monkeypatch.setattr(bcu_cls, "check", spy)
         recorders = []
         for core in session.gpu.cores:
             rec = RecordingChecker(inner=core.pipeline.checker)

@@ -82,6 +82,34 @@ class TestKernelIdTagging:
         assert cache.lookup(2, 9) is None
 
 
+class TestPartitionedFlush:
+    def test_scoped_flush_drops_only_that_bank(self):
+        """Regression: flush(kernel_id) on a partitioned RCache must keep
+        co-resident kernels' banks (§6.2)."""
+        cache = L2RCache(entries=4, partitioned=True)
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(1, kernel_id=2))
+        cache.flush(1)
+        assert cache.lookup(1, 1) is None
+        assert cache.lookup(2, 1) is not None
+
+    def test_flush_none_clears_all_banks(self):
+        cache = L2RCache(entries=4, partitioned=True)
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(1, kernel_id=2))
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_unpartitioned_scoped_flush_clears_shared_bank(self):
+        """Without partitioning there is one shared bank; a kernel-scoped
+        flush cannot be selective and must clear it."""
+        cache = L1RCache(entries=4)
+        cache.fill(entry(1, kernel_id=1))
+        cache.fill(entry(1, kernel_id=2))
+        cache.flush(1)
+        assert len(cache) == 0
+
+
 class TestStats:
     def test_hit_rate(self):
         cache = L1RCache(entries=4)
