@@ -3,6 +3,9 @@
 Public API surface (see README.md for a tour):
 
 * :class:`GpuSession` — one-stop driver + GPU context;
+* :class:`GpuDevice` — the lifecycle layer underneath every session:
+  reset/snapshot/restore, the launch queue, and the warm device cache
+  (:func:`acquire_device` / :func:`release_device` / :func:`warm_devices`);
 * :class:`GpuDriver` / :class:`GPU` — the two halves explicitly;
 * :class:`GPUShield` / :class:`ShieldConfig` / :class:`BCUConfig` —
   mechanism configuration;
@@ -13,6 +16,13 @@ Public API surface (see README.md for a tour):
 from repro.core.bcu import BCUConfig
 from repro.core.shield import GPUShield, ShieldConfig
 from repro.core.violations import ReportPolicy, ViolationRecord
+from repro.device import (
+    DeviceSnapshot,
+    GpuDevice,
+    acquire_device,
+    release_device,
+    warm_devices,
+)
 from repro.driver.driver import GpuDriver, LaunchContext
 from repro.errors import (
     BoundsViolation,
@@ -34,6 +44,11 @@ __all__ = [
     "ShieldConfig",
     "ReportPolicy",
     "ViolationRecord",
+    "GpuDevice",
+    "DeviceSnapshot",
+    "acquire_device",
+    "release_device",
+    "warm_devices",
     "GpuDriver",
     "LaunchContext",
     "BoundsViolation",

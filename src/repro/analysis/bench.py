@@ -556,6 +556,190 @@ def compare_engines(artifacts: Optional[Sequence[str]] = None, *,
 
 
 # ---------------------------------------------------------------------------
+# Warm-device differential: cold builds vs reset-reuse, bit-identical
+# ---------------------------------------------------------------------------
+
+
+def compare_warm(artifacts: Optional[Sequence[str]] = None, *,
+                 jobs: int = 0, subset: Optional[int] = None,
+                 seed: int = 11, fuzz_cases: int = 200,
+                 fuzz_seed: int = 1,
+                 results_dir: str = "benchmarks/results") -> dict:
+    """Run every artefact plus a fuzz campaign cold and warm, per engine.
+
+    The warm device path's contract mirrors the fast lane's: acquiring
+    a device from the cache and :meth:`~repro.device.GpuDevice.reset`-ing
+    it must be observationally identical to constructing a fresh one.
+    This driver proves it the blunt way — the whole artefact suite and
+    the PR-2 fuzz corpus run four times (slow/fast x cold/warm, cold =
+    warm devices disabled so every harness builds from scratch) and the
+    digests of everything produced must match cold-vs-warm under each
+    engine.
+
+    Two timings land in ``BENCH_device.json``.  The headline
+    ``warm_speedup`` aggregates the **provisioning path** — device
+    acquisition plus buffer allocation/initialisation, the part of
+    every run the warm layer owns (construct + generate cold, reset +
+    replay warm, and memo-hit cells provision nothing at all).
+    ``end_to_end_speedup`` is the whole-leg wall-clock ratio, which the
+    simulation loop dominates and warmth only dents via the cell memo.
+    """
+    from repro.device import (device_cache_stats, provision_seconds,
+                              reset_device_cache, set_warm_devices,
+                              warm_devices_enabled, warm_memo_stats)
+    from repro.engine import ENGINES, engine
+    from repro.fuzz.campaign import run_campaign
+    from repro.fuzz.generator import CaseGenerator
+    from repro.fuzz.parallel import campaign_digest
+    from repro.gpu.config import nvidia_config
+
+    artifacts = list(artifacts or ARTIFACTS)
+    specs = (CaseGenerator(fuzz_seed).draw_many(fuzz_cases)
+             if fuzz_cases > 0 else [])
+
+    legs: Dict[str, dict] = {}
+    prior = warm_devices_enabled()
+    try:
+        for index, eng in enumerate(ENGINES):
+            # ABBA counterbalancing: the host's wall-clock drifts within
+            # a long process, and a fixed cold-then-warm order would
+            # charge all of that drift to the warm legs.  Alternating
+            # the order per engine cancels the bias in the aggregates.
+            modes = ("cold", "warm") if index % 2 == 0 else ("warm", "cold")
+            for mode in modes:
+                set_warm_devices(mode == "warm")
+                reset_device_cache()   # each leg starts empty, stats zeroed
+                with engine(eng):
+                    finals: Dict[str, dict] = {}
+                    started = time.monotonic()
+                    run_bench_suite(artifacts, jobs=jobs, subset=subset,
+                                    seed=seed, results_dir=results_dir,
+                                    write_records=False,
+                                    capture_finals=finals)
+                    sweep_wall = time.monotonic() - started
+                    fuzz_digest = None
+                    fuzz_wall = 0.0
+                    if specs:
+                        started = time.monotonic()
+                        campaign = run_campaign(
+                            specs, seed=fuzz_seed,
+                            config=nvidia_config(num_cores=1))
+                        fuzz_wall = time.monotonic() - started
+                        fuzz_digest = campaign_digest(campaign)
+                legs[f"{eng}-{mode}"] = {
+                    "wall_seconds": round(sweep_wall, 3),
+                    "fuzz_wall_seconds": round(fuzz_wall, 3),
+                    "provision_seconds": round(provision_seconds(), 3),
+                    "digests": {a: _digest_payload(finals[a])
+                                for a in finals},
+                    "fuzz_digest": fuzz_digest,
+                    "cache": device_cache_stats(),
+                    "memo": warm_memo_stats(),
+                }
+    finally:
+        set_warm_devices(prior)
+        reset_device_cache()
+
+    mismatches: List[str] = []
+    per_engine: Dict[str, dict] = {}
+    for eng in ENGINES:
+        cold, warm = legs[f"{eng}-cold"], legs[f"{eng}-warm"]
+        for name in artifacts:
+            if cold["digests"][name] != warm["digests"][name]:
+                mismatches.append(f"{eng}:{name}")
+        if specs and cold["fuzz_digest"] != warm["fuzz_digest"]:
+            mismatches.append(f"{eng}:fuzz")
+        cold_total = cold["wall_seconds"] + cold["fuzz_wall_seconds"]
+        warm_total = warm["wall_seconds"] + warm["fuzz_wall_seconds"]
+        per_engine[eng] = {
+            "cold_wall_seconds": round(cold_total, 3),
+            "warm_wall_seconds": round(warm_total, 3),
+            "speedup": (round(cold_total / warm_total, 3)
+                        if warm_total else None),
+            "cold_provision_seconds": cold["provision_seconds"],
+            "warm_provision_seconds": warm["provision_seconds"],
+            "provision_speedup": (
+                round(cold["provision_seconds"]
+                      / warm["provision_seconds"], 3)
+                if warm["provision_seconds"] else None),
+        }
+    identical = not mismatches
+    cold_sum = sum(e["cold_wall_seconds"] for e in per_engine.values())
+    warm_sum = sum(e["warm_wall_seconds"] for e in per_engine.values())
+    end_to_end = round(cold_sum / warm_sum, 3) if warm_sum else None
+    prov_cold = sum(e["cold_provision_seconds"]
+                    for e in per_engine.values())
+    prov_warm = sum(e["warm_provision_seconds"]
+                    for e in per_engine.values())
+    warm_speedup = round(prov_cold / prov_warm, 3) if prov_warm else None
+
+    lines = [f"Warm-device differential: {len(artifacts)} artefact(s) + "
+             f"{len(specs)} fuzz case(s) (seed {fuzz_seed}), "
+             f"cold vs warm per engine", ""]
+    lines.append(f"{'leg':<16} {'cold digest':<18} "
+                 f"{'warm digest':<18} match")
+    for eng in ENGINES:
+        cold, warm = legs[f"{eng}-cold"], legs[f"{eng}-warm"]
+        for name in artifacts:
+            c, w = cold["digests"][name], warm["digests"][name]
+            lines.append(f"{eng + ':' + name:<16} {c:<18} {w:<18} "
+                         f"{'yes' if c == w else 'NO'}")
+        if specs:
+            c, w = cold["fuzz_digest"], warm["fuzz_digest"]
+            lines.append(f"{eng + ':fuzz':<16} {str(c):<18} {str(w):<18} "
+                         f"{'yes' if c == w else 'NO'}")
+    lines.append("")
+    for eng in ENGINES:
+        info = per_engine[eng]
+        warm_cache = legs[f"{eng}-warm"]["cache"]
+        warm_memo = legs[f"{eng}-warm"]["memo"]
+        lines.append(
+            f"{eng}: cold {info['cold_wall_seconds']}s, warm "
+            f"{info['warm_wall_seconds']}s, end-to-end {info['speedup']}x; "
+            f"provisioning {info['cold_provision_seconds']}s -> "
+            f"{info['warm_provision_seconds']}s "
+            f"({info['provision_speedup']}x) "
+            f"(cache: {warm_cache['hits']} hits / "
+            f"{warm_cache['misses']} misses / "
+            f"{warm_cache['resets']} resets; memo: "
+            f"{warm_memo['cell_hits']} cell / "
+            f"{warm_memo['init_hits']} init hits)")
+    lines.append(f"aggregate warm-path (provisioning) speedup: "
+                 f"{warm_speedup}x, end-to-end: {end_to_end}x, "
+                 f"digests identical: {identical}")
+    text = "\n".join(lines)
+
+    result = {
+        "identical": identical,
+        "mismatches": mismatches,
+        "warm_speedup": warm_speedup,
+        "end_to_end_speedup": end_to_end,
+        "per_engine": per_engine,
+        "legs": legs,
+        "text": text,
+    }
+    config = default_record_config()
+    config.update({"subset": subset, "seed": seed, "jobs": jobs,
+                   "fuzz_cases": len(specs), "fuzz_seed": fuzz_seed})
+    write_result_record(
+        results_dir, "BENCH_device", text,
+        data={"artifacts": artifacts, "legs": legs,
+              "mismatches": mismatches, "per_engine": per_engine},
+        config=config,
+        metrics={"warm_speedup": warm_speedup,
+                 "warm_speedup_definition":
+                     "aggregate provisioning path (device acquisition + "
+                     "buffer setup) cold/warm across engines",
+                 "end_to_end_speedup": end_to_end,
+                 "digests_identical": identical,
+                 "cold_wall_seconds": round(cold_sum, 3),
+                 "warm_wall_seconds": round(warm_sum, 3),
+                 "cold_provision_seconds": round(prov_cold, 3),
+                 "warm_provision_seconds": round(prov_warm, 3)})
+    return result
+
+
+# ---------------------------------------------------------------------------
 # CLI: python -m repro bench
 # ---------------------------------------------------------------------------
 
@@ -591,6 +775,13 @@ def _parse_args(argv):
                              "fail on any digest mismatch, and record "
                              "the speedup in BENCH_hotpath.json "
                              "(--fuzz-cases defaults to 200 here)")
+    parser.add_argument("--compare-warm", action="store_true",
+                        help="run every artefact and a fuzz campaign "
+                             "cold (fresh device per harness) and warm "
+                             "(reset-reused devices) under both engines, "
+                             "fail on any digest mismatch, and record "
+                             "the warm speedup in BENCH_device.json "
+                             "(--fuzz-cases defaults to 200 here)")
     parser.add_argument("--skip-sweeps", action="store_true",
                         help="only measure fuzz throughput")
     parser.add_argument("--fuzz-cases", type=int, default=0,
@@ -622,6 +813,18 @@ def main(argv=None) -> int:
                   f"(artifacts: {result['mismatches'] or 'none'}, "
                   f"fuzz identical: {result['fuzz_identical']})",
                   file=sys.stderr)
+            return 1
+        return 0
+
+    if args.compare_warm:
+        result = compare_warm(
+            artifacts, jobs=args.jobs, subset=args.subset,
+            seed=args.seed, fuzz_cases=args.fuzz_cases or 200,
+            fuzz_seed=args.fuzz_seed, results_dir=args.results_dir)
+        print(result["text"])
+        if not result["identical"]:
+            print("[bench] ERROR: warm devices diverged from cold "
+                  f"(legs: {result['mismatches']})", file=sys.stderr)
             return 1
         return 0
 

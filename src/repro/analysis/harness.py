@@ -24,6 +24,9 @@ import numpy as np
 
 from repro.analysis.results import RunRecord
 from repro.core.shield import ShieldConfig
+from repro.device import acquire_device, release_device
+from repro.device import memo as warm_memo
+from repro.device.device import GpuDevice
 from repro.driver.allocator import Buffer
 from repro.gpu.config import GPUConfig, nvidia_config
 from repro.gpu.gpu import LaunchResult
@@ -62,26 +65,35 @@ class LaunchInterposer(ABC):
         return 0
 
 
+def _generate_init(init: str, n_words: int, seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    if init == "randf":
+        data = rng.random(n_words, dtype=np.float32)
+    elif init == "iota":
+        data = np.arange(n_words, dtype=np.int32)
+    elif init.startswith("index:"):
+        _tag, _target, limit = init.split(":")
+        data = rng.integers(0, max(int(limit), 1), n_words, dtype=np.int32)
+    elif init.startswith("csr_rows:"):
+        degree = int(init.split(":")[1])
+        data = (np.arange(n_words, dtype=np.int64) * degree).astype(np.int32)
+    else:
+        raise ValueError(f"unknown init {init!r}")
+    return data.tobytes()
+
+
 def _init_buffer(session: GpuSession, buf: Buffer, spec: BufferSpec,
                  seed: int) -> None:
     n_bytes = min(spec.nbytes, _INIT_CAP)
     n_words = n_bytes // 4
     if n_words == 0 or spec.init == "zero":
         return
-    rng = np.random.default_rng(seed)
-    if spec.init == "randf":
-        data = rng.random(n_words, dtype=np.float32)
-    elif spec.init == "iota":
-        data = np.arange(n_words, dtype=np.int32)
-    elif spec.init.startswith("index:"):
-        _tag, _target, limit = spec.init.split(":")
-        data = rng.integers(0, max(int(limit), 1), n_words, dtype=np.int32)
-    elif spec.init.startswith("csr_rows:"):
-        degree = int(spec.init.split(":")[1])
-        data = (np.arange(n_words, dtype=np.int64) * degree).astype(np.int32)
-    else:
-        raise ValueError(f"unknown init {spec.init!r}")
-    session.driver.write(buf, data.tobytes())
+    # Generation is content-addressed on the warm path; the write into
+    # device memory happens every run (memory state is an observable).
+    data = warm_memo.init_payload(
+        spec.init, n_words, seed,
+        lambda: _generate_init(spec.init, n_words, seed))
+    session.driver.write(buf, data)
 
 
 class WorkloadRunner:
@@ -92,7 +104,8 @@ class WorkloadRunner:
                  shield: Optional[ShieldConfig] = None,
                  config_name: str = "", seed: int = 11,
                  allow_violations: bool = False, alloc_pad: int = 0,
-                 launch_mutator: Optional[Callable] = None):
+                 launch_mutator: Optional[Callable] = None,
+                 device: Optional[GpuDevice] = None):
         """``alloc_pad`` grows every allocation by that many tail bytes —
         how canary tools (clArmor/GMOD) intercept ``malloc`` to make room
         for their guard words.
@@ -102,28 +115,67 @@ class WorkloadRunner:
         — the boundary where pointer-capture attacks (forged IDs,
         stale-pointer replay) live, and where differential harnesses
         capture per-launch ground truth (assigned region IDs, ciphers).
+
+        Without an explicit ``device`` the runner acquires one from the
+        warm cache for ``(config, shield)`` — reset to ``seed``, so runs
+        are bit-identical whether the device is fresh or reused — and
+        :meth:`close` returns it.  A passed ``device`` stays with its
+        owner and ``config``/``shield`` are taken from it.
         """
         self.workload = workload
-        self.config = config or nvidia_config()
-        self.session = GpuSession(self.config, shield=shield, seed=seed)
-        self.config_name = config_name or self.config.name
-        self.allow_violations = allow_violations
-        self.alloc_pad = alloc_pad
-        self.launch_mutator = launch_mutator
-        #: All violation records drained across the most recent ``run()``.
-        self.last_violations: list = []
-        self.buffers: Dict[str, Buffer] = {}
-        for i, spec in enumerate(workload.buffers):
-            region = getattr(spec, "region", "global")
-            buf = self.session.driver.allocator.malloc(
-                spec.nbytes + alloc_pad, name=spec.name, region=region,
-                # Page-level read-only is only guaranteed for the
-                # constant/texture regions (Table 1); global read-only
-                # buffers rely on GPUShield's RBT flag.
-                read_only=spec.read_only and region in ("constant",
-                                                        "texture"))
-            _init_buffer(self.session, buf, spec, seed=seed * 1009 + i)
-            self.buffers[spec.name] = buf
+        #: The seed this runner's device was (re)seeded with — threaded
+        #: down so campaign seeds are never shadowed by the session
+        #: default, and asserted by the fuzz determinism check.
+        self.seed = seed
+        # Everything inside the span is the provisioning path the warm
+        # device layer owns: device acquisition (construct vs reset) and
+        # buffer allocation + initialisation.  ``bench --compare-warm``
+        # aggregates this clock per leg.
+        with warm_memo.provision_span():
+            if device is None:
+                self.config = config or nvidia_config()
+                device = acquire_device(self.config, shield, seed=seed)
+                self._owns_device = True
+            else:
+                self.config = device.config
+                self._owns_device = False
+            self.device = device
+            self.session = GpuSession(device=device)
+            self.config_name = config_name or self.config.name
+            self.allow_violations = allow_violations
+            self.alloc_pad = alloc_pad
+            self.launch_mutator = launch_mutator
+            #: Violation records drained across the most recent ``run()``.
+            self.last_violations: list = []
+            self.buffers: Dict[str, Buffer] = {}
+            try:
+                for i, spec in enumerate(workload.buffers):
+                    region = getattr(spec, "region", "global")
+                    buf = self.session.driver.allocator.malloc(
+                        spec.nbytes + alloc_pad, name=spec.name,
+                        region=region,
+                        # Page-level read-only is only guaranteed for the
+                        # constant/texture regions (Table 1); global
+                        # read-only buffers rely on GPUShield's RBT flag.
+                        read_only=spec.read_only and region in ("constant",
+                                                                "texture"))
+                    _init_buffer(self.session, buf, spec,
+                                 seed=seed * 1009 + i)
+                    self.buffers[spec.name] = buf
+            except Exception:
+                self.close()
+                raise
+
+    def close(self) -> None:
+        """Return an acquired device to the warm pool (idempotent).
+
+        Callers must be done reading device memory (digests, buffer
+        readbacks) first: a released device may be reset and reused by
+        the next runner at any time.
+        """
+        if self._owns_device:
+            self._owns_device = False
+            release_device(self.device)
 
     def data_end(self, name: str) -> int:
         """First byte past the workload's own data in buffer ``name``."""
@@ -217,11 +269,32 @@ def run_workload(workload: Workload, config: Optional[GPUConfig] = None,
                  shield: Optional[ShieldConfig] = None,
                  config_name: str = "", seed: int = 11,
                  allow_violations: bool = False) -> RunRecord:
-    """Execute one workload instance; returns the aggregated record."""
-    runner = WorkloadRunner(workload, config=config, shield=shield,
-                            config_name=config_name, seed=seed,
-                            allow_violations=allow_violations)
-    return runner.run()
+    """Execute one workload instance; returns the aggregated record.
+
+    This hook-free path is cell-memoized on the warm device path: the
+    artifact figures re-measure identical (workload, config, shield,
+    seed) cells — Figure 17 and the Figure 19 matrix repeat Figure 14's
+    base and default-shield cells — and determinism makes the repeats
+    bit-identical, so a warm repeat replays the record.  Any harness
+    with hooks, pads, mutators or tolerated violations bypasses this
+    entirely.
+    """
+
+    def execute() -> RunRecord:
+        runner = WorkloadRunner(workload, config=config, shield=shield,
+                                config_name=config_name, seed=seed,
+                                allow_violations=allow_violations)
+        try:
+            return runner.run()
+        finally:
+            runner.close()
+
+    if allow_violations:
+        return execute()
+    return warm_memo.memoized_run(workload, config, shield,
+                                  config_name or (config
+                                                  or nvidia_config()).name,
+                                  seed, execute)
 
 
 def run_benchmark(bench: BenchmarkDef, config: Optional[GPUConfig] = None,
@@ -258,9 +331,13 @@ def run_matrix_cell(bench_name: str, tool: str,
                     seed: int = 11) -> RunRecord:
     """Run one (benchmark, protection tool) cell of the matrix.
 
-    Every cell builds a fresh workload and session, so cells are
-    independent of each other and of which process runs them — the
-    property that lets the matrix fan out over the parallel runner.
+    Every cell builds a fresh workload and takes a warm device for its
+    (config, tool) fingerprint — reset to ``seed``, so cells are
+    independent of each other, of execution order, and of which process
+    runs them — the property that lets the matrix fan out over the
+    parallel runner.  ``seed`` is threaded through every tool runner
+    explicitly: the device layer re-seeds per cell, never falling back
+    to the session default.
     """
     from repro.workloads.suite import get_benchmark
     config = config or nvidia_config()
@@ -272,15 +349,20 @@ def run_matrix_cell(bench_name: str, tool: str,
                             "gpushield", seed=seed)
     if tool == "cuda-memcheck":
         from repro.baselines.memcheck import MemcheckRunner
-        return MemcheckRunner(bench.build(), config, seed=seed).run()
-    if tool == "clarmor":
+        tool_runner = MemcheckRunner(bench.build(), config, seed=seed)
+    elif tool == "clarmor":
         from repro.baselines.canary import CanaryRunner
-        return CanaryRunner(bench.build(), config, seed=seed).run()
-    if tool == "gmod":
+        tool_runner = CanaryRunner(bench.build(), config, seed=seed)
+    elif tool == "gmod":
         from repro.baselines.gmod import GmodRunner
-        return GmodRunner(bench.build(), config, seed=seed).run()
-    raise ValueError(f"unknown protection tool {tool!r} "
-                     f"(have {list(MATRIX_TOOLS)})")
+        tool_runner = GmodRunner(bench.build(), config, seed=seed)
+    else:
+        raise ValueError(f"unknown protection tool {tool!r} "
+                         f"(have {list(MATRIX_TOOLS)})")
+    try:
+        return tool_runner.run()
+    finally:
+        tool_runner.runner.close()
 
 
 def matrix_cell_job(payload: dict, ctx) -> dict:

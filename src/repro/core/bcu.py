@@ -117,6 +117,11 @@ class BoundsCheckingUnit:
         self.l1.stats.reset()
         self.l2.stats.reset()
 
+    def reset(self) -> None:
+        """Full device reset: drop every RCache bank and zero stats."""
+        self.flush()
+        self.reset_stats()
+
     # -- checking ------------------------------------------------------------
 
     def check(self, ctx: KernelSecurityContext, pointer: int,

@@ -1,0 +1,200 @@
+"""The long-lived GPU device: one driver + GPU + shield, reusable.
+
+Every harness used to cold-construct the whole stack per run (driver,
+GPU, caches, TLBs, RCaches, RBT plumbing) and throw it away afterwards.
+:class:`GpuDevice` inverts that lifetime: the device outlives any one
+workload, and callers return it to a known state instead of rebuilding.
+
+Three lifecycle operations:
+
+* :meth:`reset` — back to a **bit-identical post-construction state**
+  (optionally under a new seed).  This is the warm path: a reset device
+  is observably indistinguishable — cycles, stats, memory contents,
+  violation records — from a freshly constructed one with the same
+  seed, under both the slow and fast engines.
+* :meth:`snapshot` / :meth:`restore` — capture and re-install the
+  *architectural* state (memory, page table, allocations, heap, RNG
+  stream, kernel counter, undrained violations).  Scratch state —
+  caches, TLBs, RCaches, statistics, memo tables — is scrubbed on
+  restore, exactly like the §5.5 context-switch RCache flush: timing
+  structures never survive a context transition.
+* the **launch queue** — :meth:`submit` / :meth:`submit_pair` enqueue
+  prepared launches (sequential, or §6.2 co-resident pairs) and
+  :meth:`drain` executes them FIFO; per-kernel teardown runs through
+  the existing scoped RCache flush (partitioned flush per terminating
+  ``kernel_id`` when §6.2 banking is on).
+
+The distinction that makes reset correct is *architectural vs scratch*
+state.  Architectural state defines what software can observe across
+launches (memory bytes, mappings, allocator cursors, the RNG stream
+feeding §5.4's key/ID draws, the kernel counter); scratch state only
+shapes timing (cache/TLB/RCache contents, statistics) or memoizes pure
+recomputation (pointer-decode and BAT caches).  Reset restores the
+former to the construction image and flushes the latter in place — in
+place because the fast engine binds line arrays, the page dict and
+stats objects once at construction and must never see them replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.shield import GPUShield, ShieldConfig
+from repro.core.violations import ViolationRecord
+from repro.driver.driver import ArgValue, GpuDriver, LaunchContext
+from repro.gpu.config import GPUConfig, nvidia_config
+from repro.gpu.gpu import GPU, LaunchResult
+from repro.isa.program import Kernel
+
+
+class DeviceSnapshot:
+    """Opaque capture of one device's architectural state.
+
+    Snapshots capture :class:`~repro.driver.allocator.Buffer` objects by
+    identity (the allocation list is append-only), so restoring an
+    earlier snapshot invalidates any snapshot taken after it.
+    """
+
+    __slots__ = ("_driver_state", "_device_id")
+
+    def __init__(self, driver_state: dict, device_id: int):
+        self._driver_state = driver_state
+        self._device_id = device_id
+
+
+class GpuDevice:
+    """One long-lived simulated GPU: driver, GPU, shield and a queue."""
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 shield: Optional[ShieldConfig] = None,
+                 seed: int = 0xC0FFEE):
+        self.config = config or nvidia_config()
+        gpushield = GPUShield(shield) if shield is not None else None
+        self.driver = GpuDriver(self.config, shield=gpushield, seed=seed)
+        self.gpu = GPU(self.driver)
+        self.engine = self.gpu.engine
+        self.seed = seed
+        #: Lifetime accounting (surfaced by the device cache stats).
+        self.launches_run = 0
+        self.reset_count = 0
+        self._queue: List[Tuple[List[LaunchContext], str]] = []
+        self._cache_key = None   # set by repro.device.cache on build
+        # The reset target: the device exactly as constructed.  Taken
+        # before any launch, so the image is small (a fresh device has
+        # written almost nothing) and reset == "as new".
+        self._baseline = self.snapshot()
+
+    # -- convenience views ----------------------------------------------------
+
+    @property
+    def shield(self) -> GPUShield:
+        return self.driver.shield
+
+    @property
+    def stats(self):
+        """The GPU's unified :class:`~repro.analysis.stats.StatsRegistry`."""
+        return self.gpu.stats
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def snapshot(self) -> DeviceSnapshot:
+        """Capture the current architectural state.
+
+        Refuses while launches are queued: a snapshot must describe a
+        quiesced device, not one with work in flight.
+        """
+        if self._queue:
+            raise RuntimeError(
+                "cannot snapshot a device with queued launches; "
+                "drain() first")
+        return DeviceSnapshot(self.driver.state_snapshot(), id(self))
+
+    def restore(self, snap: DeviceSnapshot) -> None:
+        """Re-install a snapshot's architectural state.
+
+        Scratch state (caches, TLBs, RCaches, stats, memo tables, any
+        checker/tracer the harness attached) is scrubbed rather than
+        restored — the §5.5 context-switch contract — so the device
+        resumes with cold timing structures and exact architecture.
+        """
+        if snap._device_id != id(self):
+            raise ValueError("snapshot belongs to a different device")
+        self._queue.clear()
+        self.driver.restore_state(snap._driver_state)
+        self.gpu.reset()
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Return to the bit-identical post-construction state.
+
+        With ``seed`` the device behaves exactly like a fresh
+        ``GpuDevice(config, shield, seed=seed)``; without it, like a
+        fresh device under the construction seed.
+        """
+        self.restore(self._baseline)
+        if seed is None:
+            seed = self.driver.seed
+        self.driver.reseed(seed)
+        self.seed = seed
+        self.reset_count += 1
+
+    def close(self) -> None:
+        """Discard queued work; the device may be dropped or cached."""
+        self._queue.clear()
+
+    # -- the launch queue ------------------------------------------------------
+
+    def submit(self, kernel: Kernel, args: Dict[str, ArgValue],
+               workgroups: int, wg_size: int) -> LaunchContext:
+        """Prepare one kernel launch and enqueue it (mode ``single``)."""
+        launch = self.driver.launch(kernel, args, workgroups, wg_size)
+        self._queue.append(([launch], "single"))
+        return launch
+
+    def submit_prepared(self, launch: LaunchContext) -> None:
+        """Enqueue an already-prepared launch (mode ``single``)."""
+        self._queue.append(([launch], "single"))
+
+    def submit_pair(self, launches: Sequence[LaunchContext],
+                    mode: str) -> None:
+        """Enqueue prepared co-resident launches (§6.2 modes)."""
+        self._queue.append((list(launches), mode))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> List[Tuple[LaunchResult, List[ViolationRecord]]]:
+        """Execute every queued entry FIFO; returns one (result,
+        violations) per entry.
+
+        Teardown is per kernel: each launch is ``finish``-ed as its
+        entry completes, and kernel termination flushes the RCaches
+        through the existing scoped path (the partitioned per-kernel
+        bank flush when §6.2 RCache partitioning is enabled).
+        """
+        out: List[Tuple[LaunchResult, List[ViolationRecord]]] = []
+        while self._queue:
+            launches, mode = self._queue.pop(0)
+            result = self.gpu.run(
+                launches[0] if mode == "single" else launches, mode=mode)
+            violations: List[ViolationRecord] = []
+            for launch in launches:
+                violations.extend(self.driver.finish(launch))
+            self.launches_run += len(launches)
+            out.append((result, violations))
+        return out
+
+    # -- synchronous conveniences (the session facade's surface) ---------------
+
+    def run(self, kernel: Kernel, args: Dict[str, ArgValue],
+            workgroups: int, wg_size: int
+            ) -> Tuple[LaunchResult, List[ViolationRecord]]:
+        """Submit one launch and drain: (result, violation report)."""
+        self.submit(kernel, args, workgroups, wg_size)
+        return self.drain()[-1]
+
+    def run_pair(self, launches: Sequence[LaunchContext], mode: str
+                 ) -> Tuple[LaunchResult, List[ViolationRecord]]:
+        """Submit prepared co-resident launches and drain."""
+        self.submit_pair(launches, mode)
+        return self.drain()[-1]

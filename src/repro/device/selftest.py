@@ -1,0 +1,89 @@
+"""Runner job kind ``device.selftest``: prove reset == fresh on this host.
+
+One job runs a benchmark twice under the same seed — once on a freshly
+constructed device, once on a device that has already executed the
+workload and been :meth:`~repro.device.device.GpuDevice.reset` — and
+compares digests of everything observable: cycles, instruction counts,
+buffer contents and violation totals.  Fanned out by the runner it
+doubles as a cheap per-worker sanity gate that the warm path holds the
+bit-identity contract in whatever environment the pool forked into.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.analysis.harness import WorkloadRunner
+from repro.core.shield import ShieldConfig
+from repro.device.cache import warm_devices
+from repro.device.device import GpuDevice
+from repro.engine import engine as engine_ctx
+from repro.gpu.config import nvidia_config
+
+
+def _digest_run(runner: WorkloadRunner, record) -> str:
+    h = hashlib.sha256()
+    h.update(repr((record.cycles, record.instructions,
+                   record.mem_instructions, record.transactions,
+                   record.launches, record.violations,
+                   record.aborted)).encode())
+    for name in sorted(runner.buffers):
+        h.update(runner.session.driver.read(runner.buffers[name]))
+    snap = runner.session.stats.snapshot()
+    h.update(repr(sorted(snap.as_dict().items())).encode())
+    return h.hexdigest()[:16]
+
+
+def _run_once(workload_name: str, device: GpuDevice, seed: int) -> str:
+    from repro.workloads.suite import get_benchmark
+    workload = get_benchmark(workload_name).build()
+    # shield=None is correct here: the runner adopts the passed device
+    # as-is, and the shield already lives inside it.
+    runner = WorkloadRunner(workload, config=device.config,
+                            shield=None, seed=seed, device=device)
+    record = runner.run()
+    return _digest_run(runner, record)
+
+
+def device_selftest_job(payload: dict, ctx=None) -> dict:
+    """Runner entrypoint: fresh-vs-reset digest equality for one cell.
+
+    Payload keys: ``benchmark`` (default ``vectoradd``), ``seed``
+    (default 11), ``engine`` (default: process engine), ``shielded``
+    (default True).
+    """
+    bench = payload.get("benchmark", "vectoradd")
+    seed = int(payload.get("seed", 11))
+    eng: Optional[str] = payload.get("engine")
+    shield = (ShieldConfig(enabled=True)
+              if payload.get("shielded", True) else None)
+    config = nvidia_config(num_cores=2)
+
+    def run_pair() -> dict:
+        with warm_devices(False):
+            fresh = GpuDevice(config, shield=shield, seed=seed)
+            fresh_digest = _run_once(bench, fresh, seed)
+            warmed = GpuDevice(config, shield=shield, seed=seed + 1)
+            _run_once(bench, warmed, seed + 1)   # dirty the device
+            warmed.reset(seed)
+            reset_digest = _run_once(bench, warmed, seed)
+        return {"fresh": fresh_digest, "reset": reset_digest,
+                "identical": fresh_digest == reset_digest}
+
+    if eng:
+        with engine_ctx(eng):
+            result = run_pair()
+    else:
+        result = run_pair()
+
+    if ctx is not None:
+        counters = ctx.stats.counters("device.selftest")
+        counters["runs"] = 1
+        counters["identical"] = int(result["identical"])
+    if not result["identical"]:
+        raise AssertionError(
+            f"device reset diverged from fresh construction on "
+            f"{bench!r}: fresh={result['fresh']} reset={result['reset']}")
+    return {"benchmark": bench, "seed": seed,
+            "engine": eng or "default", **result}

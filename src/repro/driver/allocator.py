@@ -156,6 +156,31 @@ class DeviceAllocator:
     def live_buffers(self) -> List[Buffer]:
         return [b for b in self.allocations if not b.freed]
 
+    # -- device lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget every allocation: cursors back to the region bases.
+
+        Page unmapping is the address space's job (the device resets it
+        alongside); ``allocations`` is cleared in place so any holder of
+        the list sees the wipe.  Previously returned :class:`Buffer`
+        objects become dangling — exactly like a freed CUDA context.
+        """
+        self._cursors.update({
+            "constant": self.regions.constant,
+            "texture": self.regions.texture,
+            "global": self.regions.global_,
+            "local": self.regions.local,
+            "internal": self.regions.internal,
+        })
+        self.allocations.clear()
+
+    def cursors_snapshot(self) -> Dict[str, int]:
+        return dict(self._cursors)
+
+    def restore_cursors(self, cursors: Dict[str, int]) -> None:
+        self._cursors.update(cursors)
+
     # -- host-side data movement (cudaMemcpy equivalents) ----------------------
 
     def write_buffer(self, buffer: Buffer, offset: int, data: bytes) -> None:

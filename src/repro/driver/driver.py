@@ -109,6 +109,7 @@ class GpuDriver:
             from repro.driver.svm import SvmMailbox
             self.mailbox = SvmMailbox(self.allocator)
             self.shield.log.mailbox_write = self.mailbox.device_append
+        self._seed = seed
         self._rng = random.Random(seed)
         self._kernel_counter = 0
         # Static analysis is per (kernel, launch shape): cache the BAT so
@@ -116,6 +117,65 @@ class GpuDriver:
         # re-run the compiler each time — matching the paper, where the
         # BAT is computed once and attached to the binary.
         self._bat_cache: Dict[tuple, BoundsAnalysisTable] = {}
+
+    # -- device lifecycle ---------------------------------------------------------
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        """Restart the driver's secret-key/ID RNG from ``seed``, exactly
+        as a freshly constructed driver would draw it."""
+        self._seed = seed
+        self._rng.seed(seed)
+
+    def state_snapshot(self) -> dict:
+        """Capture the driver-visible architectural state.
+
+        Covers device memory contents, the page table, allocator
+        cursors/allocations, the heap, the RNG stream, the kernel
+        counter and any undrained violation records.  Buffer objects
+        are captured by identity (the allocation list is append-only),
+        so a restore invalidates snapshots taken after it.
+        """
+        return {
+            "chunks": self.memory.snapshot_chunks(),
+            "mem_counters": (self.memory.bytes_read,
+                             self.memory.bytes_written),
+            "pages": self.space.pages_snapshot(),
+            "cursors": self.allocator.cursors_snapshot(),
+            "allocations": [(buf, buf.freed)
+                            for buf in self.allocator.allocations],
+            "heap": self.heap.state_snapshot(),
+            "rng": self._rng.getstate(),
+            "kernel_counter": self._kernel_counter,
+            "violations": list(self.shield.log.records),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-install a :meth:`state_snapshot` image.
+
+        Every container is mutated in place (the fast engine binds the
+        page dict and chunk store at construction).  The BAT cache is
+        dropped: it keys on ``id(kernel)``, and a restored driver may
+        see recycled ids for different kernel objects.
+        """
+        self.memory.restore_chunks(state["chunks"])
+        self.memory.bytes_read, self.memory.bytes_written = \
+            state["mem_counters"]
+        self.space.restore_pages(state["pages"])
+        self.allocator.restore_cursors(state["cursors"])
+        saved = state["allocations"]
+        del self.allocator.allocations[len(saved):]
+        for buf, freed in saved:
+            buf.freed = freed
+        self.heap.restore_state(state["heap"])
+        self._rng.setstate(state["rng"])
+        self._kernel_counter = state["kernel_counter"]
+        self._bat_cache.clear()
+        self.shield.log.records.clear()
+        self.shield.log.records.extend(state["violations"])
 
     # -- host memory API ---------------------------------------------------------
 

@@ -51,6 +51,7 @@ class DeviceHeap:
         self._cursor = base
         self.stats = HeapStats()
         self._mapped = False
+        self._initial_limit = limit
 
     def set_limit(self, limit: int) -> None:
         """``cudaDeviceSetLimit``: only legal before first use (§5.2.1)."""
@@ -103,6 +104,29 @@ class DeviceHeap:
         return self.BASE_COST + serialised + contention
 
     def reset(self) -> None:
-        """Drop all device allocations (context teardown)."""
+        """Drop all device allocations (context teardown).
+
+        Also unmaps the heap pages and restores the construction-time
+        limit, so a subsequent ``set_limit`` is legal again — a reset
+        device behaves exactly like a freshly created context.
+        """
+        if self._mapped:
+            self.space.unmap_range(self.base, self.limit)
         self._cursor = self.base
         self.stats = HeapStats()
+        self._mapped = False
+        self.limit = self._initial_limit
+
+    def state_snapshot(self) -> dict:
+        """Architectural heap state for device snapshot/restore."""
+        return {"cursor": self._cursor, "limit": self.limit,
+                "mapped": self._mapped,
+                "stats": (self.stats.allocations,
+                          self.stats.bytes_allocated,
+                          self.stats.contended_allocations)}
+
+    def restore_state(self, state: dict) -> None:
+        self._cursor = state["cursor"]
+        self.limit = state["limit"]
+        self._mapped = state["mapped"]
+        self.stats = HeapStats(*state["stats"])

@@ -190,9 +190,16 @@ def run_case(spec: CaseSpec,
             if check_determinism:
                 again, record2, _m = _run_shield(
                     spec, build_workload(spec), config)
+                # Seed-plumbing invariant: the campaign seed reaches the
+                # device verbatim — were the session's 0xC0FFEE default
+                # shadowing it, re-runs would still agree with each
+                # other while silently ignoring the case seed.
+                assert again.seed == spec.seed & 0xFFFF
+                assert again.session.seed == spec.seed & 0xFFFF
                 outcome.deterministic = (
                     record2.cycles == record.cycles
                     and _digest(again, spec) == _digest(runner, spec))
+                again.close()
         elif name in ("swbounds", "memcheck"):
             runner = WorkloadRunner(workload, config=config, shield=None,
                                     config_name=name, seed=seed,
@@ -219,6 +226,9 @@ def run_case(spec: CaseSpec,
         outcome.cycles[name] = record.cycles
         if spec.safe:
             outcome.digests[name] = _digest(runner, spec)
+        # Digests are read; the device can go back to the warm pool for
+        # the next config/case to reset-and-reuse.
+        runner.close()
 
     _score(spec, outcome, configs)
     return outcome

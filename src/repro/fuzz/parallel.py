@@ -102,7 +102,12 @@ def merge_campaign(results: Sequence[JobResult], *, seed: int,
 
     stats = StatsRegistry()
     for result in results:
-        stats.merge(result.stats)
+        # device.cache.* is process-local scheduling telemetry (how many
+        # warm hits each worker happened to get), not a workload
+        # observable — folding it in would make the merged campaign
+        # differ from the serial run by construction.
+        stats.merge({k: v for k, v in result.stats.items()
+                     if not k.startswith("device.cache.")})
 
     merged = CampaignResult(seed=seed, stats=stats)
     ordered = sorted(results, key=lambda r: int(r.payload["index_base"]))

@@ -243,6 +243,18 @@ class FastBoundsCheckingUnit(BoundsCheckingUnit):
         self._allow_l2 = CheckOutcome(allowed=True, stall_cycles=0,
                                       check_latency=cfg.l2_latency)
 
+    def reset(self) -> None:
+        """Device reset: also drop the decode/decrypt memos.
+
+        The decrypt memo keys on ``(kernel_id, payload)`` and its
+        correctness rests on kernel IDs being unique for this BCU's
+        lifetime — a device reset restarts the driver's kernel counter,
+        so stale entries would alias the new launches.
+        """
+        super().reset()
+        self._decode_memo.clear()
+        self._decrypt_memo.clear()
+
     def check(self, ctx: KernelSecurityContext, pointer: int,
               lo: int, hi: int, *, is_store: bool,
               num_transactions: int = 1, dcache_hit: bool = True,

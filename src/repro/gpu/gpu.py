@@ -120,6 +120,29 @@ class GPU:
         for core in self.cores:
             core.tracer = tracer
 
+    def reset(self) -> None:
+        """Scrub every micro-architectural structure back to cold state.
+
+        Flushes the shared L2/L2TLB, resets DRAM channel timing, resets
+        each core's private pipeline state and BCU (RCache banks, memo
+        tables), re-attaches the default checker (harness tools may have
+        swapped it), detaches tracers, and zeroes every registered
+        statistic in place — the registry keeps its registrations so
+        references bound at construction (fast engine) stay live.
+        """
+        self.l2cache.flush()
+        self.l2tlb.flush()
+        self.dram.reset()
+        for core in self.cores:
+            core.pipeline.reset()
+            if core.bcu is not None:
+                core.bcu.reset()
+                core.pipeline.checker = core.bcu.as_checker()
+            else:
+                core.pipeline.checker = None
+            core.tracer = None
+        self.stats.reset()
+
     # -- dispatch ------------------------------------------------------------------
 
     def run(self, launches: Union[LaunchContext, Sequence[LaunchContext]],

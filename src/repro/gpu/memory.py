@@ -93,6 +93,26 @@ class PhysicalMemory:
     def fill(self, addr: int, size: int, byte: int = 0) -> None:
         self.write(addr, bytes([byte]) * size)
 
+    # -- device lifecycle -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget every byte written (device reset); reads are zero again."""
+        self._chunks.clear()
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot_chunks(self) -> Dict[int, bytes]:
+        """Immutable copy of the sparse store for snapshot/restore."""
+        return {index: bytes(chunk)
+                for index, chunk in self._chunks.items()}
+
+    def restore_chunks(self, chunks: Dict[int, bytes]) -> None:
+        """Re-install a :meth:`snapshot_chunks` image (contents only;
+        the caller restores the byte counters)."""
+        self._chunks.clear()
+        for index, blob in chunks.items():
+            self._chunks[index] = bytearray(blob)
+
 
 @dataclass(frozen=True)
 class PageFlags:
@@ -161,6 +181,24 @@ class AddressSpace:
             if is_store and not flags.writable:
                 raise IllegalAddressError(va, f"write to read-only page {va:#x}")
         return va  # identity mapping
+
+    def reset(self) -> None:
+        """Unmap everything (device reset).
+
+        The page dict is cleared **in place**: the fast memory pipeline
+        binds ``space._pages`` once at construction, so the dict object
+        must never be replaced — only emptied and refilled.
+        """
+        self._pages.clear()
+
+    def restore_pages(self, pages: Dict[int, PageFlags]) -> None:
+        """Re-install a page-table image (same in-place contract)."""
+        self._pages.clear()
+        self._pages.update(pages)
+
+    def pages_snapshot(self) -> Dict[int, PageFlags]:
+        """Copy of the page table (PageFlags is frozen, keys are ints)."""
+        return dict(self._pages)
 
     def mapped_pages(self) -> Iterator[Tuple[int, PageFlags]]:
         return iter(sorted(self._pages.items()))

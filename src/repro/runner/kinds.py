@@ -40,6 +40,7 @@ _LAZY: Dict[str, str] = {
     "fuzz.shard": "repro.fuzz.parallel:run_shard_job",
     "harness.matrix_cell": "repro.analysis.harness:matrix_cell_job",
     "bench.artifact": "repro.analysis.bench:run_artifact_job",
+    "device.selftest": "repro.device.selftest:device_selftest_job",
 }
 
 

@@ -62,6 +62,28 @@ class TestRunCase:
         outcome = run_case(case_of("overflow"), check_determinism=True)
         assert outcome.deterministic is True
 
+    def test_case_seed_is_not_shadowed_by_the_session_default(self):
+        # The session layer carries a 0xC0FFEE default seed; a campaign
+        # case must reach the device under its own seed, end to end.
+        from repro.analysis.harness import WorkloadRunner
+        from repro.core.shield import ShieldConfig
+        from repro.fuzz.campaign import build_workload
+        from repro.gpu.config import nvidia_config
+
+        spec = case_of("overflow")
+        want = spec.seed & 0xFFFF
+        assert want != 0xC0FFEE
+        runner = WorkloadRunner(build_workload(spec),
+                                config=nvidia_config(num_cores=1),
+                                shield=ShieldConfig(enabled=True),
+                                seed=want, allow_violations=True)
+        try:
+            assert runner.seed == want
+            assert runner.session.seed == want
+            assert runner.session.driver.seed == want
+        finally:
+            runner.close()
+
     def test_canary_gap_reproduces_not_closes(self):
         outcome = run_case(case_of("canary_jump"),
                            configs=["shield", "clarmor", "gmod"])

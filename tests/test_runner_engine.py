@@ -153,6 +153,20 @@ class TestResume:
         with pytest.raises(ValueError, match="different plan"):
             run_jobs(other, jobs=0, journal_path=str(journal), resume=True)
 
+    def test_resume_refuses_same_shape_plan_with_changed_payload(
+            self, tmp_path):
+        # Same job count, same ids, one payload changed: the fingerprint
+        # must still catch it — splicing old results under new payloads
+        # would silently corrupt the merge.
+        journal = tmp_path / "j.jsonl"
+        run_jobs(_echo_plan(3), jobs=0, journal_path=str(journal))
+        changed = _echo_plan(3)
+        changed[1] = JobSpec(job_id="job-01", kind="util.echo",
+                             payload={"value": 99}, seed=1)
+        with pytest.raises(ValueError, match="refusing to splice"):
+            run_jobs(changed, jobs=0, journal_path=str(journal),
+                     resume=True)
+
     def test_resume_without_journal_path_rejected(self):
         with pytest.raises(ValueError, match="journal"):
             run_jobs(_echo_plan(1), jobs=0, resume=True)
