@@ -82,11 +82,15 @@ def main(argv=None) -> int:
         # Forward to the bench driver: python -m repro bench --jobs N ...
         from repro.analysis.bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "oracle":
+        # Forward to the conformance oracle: python -m repro oracle diff ...
+        from repro.oracle.cli import main as oracle_main
+        return oracle_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate GPUShield paper tables/figures.")
     parser.add_argument("artifact",
-                        help="one of: list, fuzz, bench, "
+                        help="one of: list, fuzz, bench, oracle, "
                              + ", ".join(ARTIFACTS))
     parser.add_argument("--subset", type=int, default=None,
                         help="restrict sweeps to the first N benchmarks")

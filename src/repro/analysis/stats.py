@@ -153,6 +153,25 @@ class StatsSnapshot:
         """
         return merge_snapshots([self, *others], gauges=gauges)
 
+    def diff(self, other: "StatsSnapshot") -> Dict[str, Tuple[Number,
+                                                              Number]]:
+        """Paths whose values differ between two snapshots.
+
+        A path missing on one side counts as 0 there (registries built
+        from different component sets still compare sensibly).  The
+        conformance oracle reports this alongside the first divergent
+        trace event when two legs disagree.
+        """
+        mine = self._values
+        theirs = other._values
+        out: Dict[str, Tuple[Number, Number]] = {}
+        for path in sorted(set(mine) | set(theirs)):
+            a = mine.get(path, 0)
+            b = theirs.get(path, 0)
+            if a != b:
+                out[path] = (a, b)
+        return out
+
     # -- export ------------------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Number]:

@@ -124,6 +124,10 @@ def release_device(device: Optional[GpuDevice]) -> None:
     if device is None:
         return
     device.close()
+    # Pool hygiene: a harness-attached tracer must not ride along into
+    # the idle pool, or the next acquirer's accesses would leak into the
+    # releaser's (still-live) trace until the acquire-time reset.
+    device.gpu.detach_tracer()
     key = device._cache_key
     if key is None or not _warm:
         _stats["discards"] += 1

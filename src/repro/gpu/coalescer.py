@@ -27,6 +27,25 @@ class CoalescedAccess:
     def num_transactions(self) -> int:
         return len(self.transactions)
 
+    def tiles_footprint(self, line_size: int = 128) -> bool:
+        """Whether the transaction segments exactly tile the warp's
+        (min, max) byte footprint: aligned, strictly increasing, the
+        first containing ``min_addr``, the last containing ``max_addr``
+        and every one inside the footprint's line range.  The trace
+        invariant checker holds every coalesce event to this.
+        """
+        txs = self.transactions
+        if not txs:
+            return False
+        last = -1
+        for tx in txs:
+            if tx % line_size or tx <= last:
+                return False
+            last = tx
+        if not (txs[0] <= self.min_addr < txs[0] + line_size):
+            return False
+        return txs[-1] <= self.max_addr < txs[-1] + line_size
+
 
 def coalesce(lane_addrs: Sequence[Optional[int]], access_size: int,
              line_size: int = 128) -> Optional[CoalescedAccess]:

@@ -120,6 +120,11 @@ class GPU:
         for core in self.cores:
             core.tracer = tracer
 
+    def detach_tracer(self) -> None:
+        """Drop any attached tracer (harness hygiene: a device returned
+        to the warm pool must never keep feeding a caller's trace)."""
+        self.attach_tracer(None)
+
     def reset(self) -> None:
         """Scrub every micro-architectural structure back to cold state.
 

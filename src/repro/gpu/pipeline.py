@@ -215,12 +215,26 @@ class MemoryPipeline:
         if request.space == "shared":
             return self._access_shared(warp, job, request, cycle)
 
+        # Stage-level tracing (the conformance oracle's vantage): one
+        # boolean decided per access, so the untraced path pays nothing
+        # beyond the existing tracer check in _trace.
+        tracer = self.tracer
+        stage = tracer is not None and tracer.stage_level
+
         result = AccessResult(space=request.space, is_store=request.is_store)
         ca = self.coalesce(request)
         result.coalesced = ca
         result.transactions = ca.num_transactions
         result.min_addr = ca.min_addr
         result.max_addr = ca.max_addr
+        if stage:
+            tracer.record_stage(
+                stage="coalesce", cycle=cycle, core=self.core_id,
+                warp_id=warp.warp_id, kernel_id=warp.launch_key,
+                space=request.space, is_store=request.is_store,
+                lo=ca.min_addr, hi=ca.max_addr,
+                transactions=ca.num_transactions,
+                segments=ca.transactions, active_lanes=ca.active_lanes)
 
         # LSU timing per transaction (they pipeline; the slowest dominates).
         level1 = self._level1_for(request.space)
@@ -238,6 +252,19 @@ class MemoryPipeline:
             worst = max(worst,
                         self.config.lsu_pipeline_depth
                         + tr.latency + cr.latency)
+            if stage:
+                tracer.record_stage(
+                    stage="translate", cycle=cycle, core=self.core_id,
+                    warp_id=warp.warp_id, kernel_id=warp.launch_key,
+                    space=request.space, is_store=request.is_store, tx=tx,
+                    level=("l1" if tr.l1_hit
+                           else "l2" if tr.l2_hit else "walk"))
+                tracer.record_stage(
+                    stage="cache", cycle=cycle, core=self.core_id,
+                    warp_id=warp.warp_id, kernel_id=warp.launch_key,
+                    space=request.space, is_store=request.is_store, tx=tx,
+                    level=("l1" if cr.l1_hit
+                           else "l2" if cr.l2_hit else "dram"))
         result.latency = worst + (ca.num_transactions - 1)
 
         # Bounds checking (overlapped with the LSU pipeline, Figure 12).
@@ -249,6 +276,21 @@ class MemoryPipeline:
             # Bounds resolution (e.g. an RBT fill) delays this warp's
             # completion but overlaps the access's own latency (§5.5).
             result.latency = max(result.latency, outcome.check_latency)
+            if stage:
+                tracer.record_stage(
+                    stage="check", cycle=cycle, core=self.core_id,
+                    warp_id=warp.warp_id, kernel_id=warp.launch_key,
+                    space=request.space, is_store=request.is_store,
+                    lo=result.min_addr, hi=result.max_addr,
+                    transactions=result.transactions,
+                    active_lanes=ca.active_lanes,
+                    level=self._decode_level(request, job),
+                    allowed=outcome.allowed,
+                    reason=(outcome.violation.reason
+                            if outcome.violation is not None else ""),
+                    check_latency=outcome.check_latency,
+                    stall=outcome.stall_cycles,
+                    rbt_fill=outcome.rbt_fill)
 
         if not result.allowed:
             # §5.5.2 logging policy: zero loads, drop stores silently.
@@ -362,6 +404,16 @@ class MemoryPipeline:
             job.executor.deliver_load(warp, request, values)
 
     # -- tracing -----------------------------------------------------------------------
+
+    @staticmethod
+    def _decode_level(request: MemRequest, job) -> str:
+        """The BCU's decode outcome for the check stage event: the
+        pointer type the base pointer decodes to, or ``"off"`` when the
+        launch carries no security context (check bypassed)."""
+        if getattr(job.launch, "security", None) is None:
+            return "off"
+        from repro.core.pointer import decode
+        return decode(request.base_pointer).ptype.name.lower()
 
     def _trace(self, warp: WarpState, request: MemRequest, cycle: int,
                result: AccessResult) -> None:

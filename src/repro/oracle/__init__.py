@@ -1,0 +1,50 @@
+"""The conformance oracle: stage-level traces as ground truth.
+
+Built on :mod:`repro.analysis.trace`, this package captures the full
+coalesce→translate→cache→check→commit event stream of a workload
+(:mod:`~repro.oracle.capture`), diffs two captures down to the first
+divergent event (:mod:`~repro.oracle.diff`), cross-validates a capture
+against the violation log and the stats registry
+(:mod:`~repro.oracle.invariants`), and pins canonical traces as a
+golden corpus under ``tests/data/golden/``
+(:mod:`~repro.oracle.golden`).  ``python -m repro oracle`` is the CLI;
+``oracle.diff`` jobs shard subjects across the parallel runner.
+"""
+
+from repro.oracle.capture import (CAPTURE_CAPACITY, CapturedTrace,
+                                  ORACLE_WORKLOADS, capture,
+                                  config_fingerprint, expand_subjects)
+from repro.oracle.diff import (DiffResult, Divergence,
+                               FingerprintMismatchError,
+                               SchemaMismatchError, diff_captures,
+                               diff_wire_events)
+from repro.oracle.faults import CoalescerFault, injected_coalescer_fault
+from repro.oracle.golden import (GOLDEN_ENGINE, GOLDEN_SUBJECTS,
+                                 default_golden_root, load_golden,
+                                 record_golden, verify_golden)
+from repro.oracle.invariants import InvariantReport, check_capture
+
+__all__ = [
+    "CAPTURE_CAPACITY",
+    "CapturedTrace",
+    "ORACLE_WORKLOADS",
+    "capture",
+    "config_fingerprint",
+    "expand_subjects",
+    "DiffResult",
+    "Divergence",
+    "FingerprintMismatchError",
+    "SchemaMismatchError",
+    "diff_captures",
+    "diff_wire_events",
+    "CoalescerFault",
+    "injected_coalescer_fault",
+    "GOLDEN_ENGINE",
+    "GOLDEN_SUBJECTS",
+    "default_golden_root",
+    "load_golden",
+    "record_golden",
+    "verify_golden",
+    "InvariantReport",
+    "check_capture",
+]

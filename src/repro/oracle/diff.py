@@ -1,0 +1,159 @@
+"""The trace-diff engine: first divergent event, with stage context.
+
+Two captures of the same subject under different legs (slow vs fast
+engine, current tree vs golden, clean vs fault-injected) are compared
+event by event over the unified access+stage stream.  The first
+mismatch is reported with the differing fields and a window of the
+preceding common events — enough context to name *which access, at
+which stage, on which core* went wrong, which end-of-run digests never
+could.
+
+Comparisons refuse to run across schema versions or configuration
+fingerprints: a diff between incompatible recordings would report
+garbage divergences, so it is an error, not a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import StatsSnapshot
+from repro.oracle.capture import CapturedTrace
+
+
+class SchemaMismatchError(RuntimeError):
+    """Two traces recorded under different wire-format versions."""
+
+
+class FingerprintMismatchError(RuntimeError):
+    """Two traces recorded under different GPU/shield configurations."""
+
+
+@dataclass
+class Divergence:
+    """The first point where two event streams disagree."""
+
+    index: int
+    a: Optional[Dict[str, object]]      # None when stream a ended early
+    b: Optional[Dict[str, object]]
+    fields: List[str]                   # differing keys ("<length>" for
+                                        # an early stream end)
+    context: List[Dict[str, object]]    # preceding common events
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"index": self.index, "a": self.a, "b": self.b,
+                "fields": self.fields, "context": self.context}
+
+    def describe(self) -> str:
+        lines = [f"first divergent event at stream index {self.index} "
+                 f"(fields: {', '.join(self.fields)})"]
+        for ev in self.context:
+            lines.append(f"    ... {ev}")
+        lines.append(f"    a: {self.a}")
+        lines.append(f"    b: {self.b}")
+        return "\n".join(lines)
+
+
+def diff_wire_events(a: List[Dict[str, object]],
+                     b: List[Dict[str, object]],
+                     context: int = 3) -> Optional[Divergence]:
+    """First mismatch between two wire-event lists, or ``None``."""
+    common = min(len(a), len(b))
+    for i in range(common):
+        if a[i] != b[i]:
+            keys = sorted(set(a[i]) | set(b[i]))
+            fields = [k for k in keys if a[i].get(k) != b[i].get(k)]
+            return Divergence(index=i, a=a[i], b=b[i], fields=fields,
+                              context=a[max(0, i - context):i])
+    if len(a) != len(b):
+        i = common
+        return Divergence(
+            index=i,
+            a=a[i] if i < len(a) else None,
+            b=b[i] if i < len(b) else None,
+            fields=["<length>"],
+            context=a[max(0, i - context):i])
+    return None
+
+
+@dataclass
+class DiffResult:
+    """Everything one subject's two-leg comparison established."""
+
+    subject: str
+    a_label: str
+    b_label: str
+    events: Tuple[int, int]
+    cycles: Tuple[int, int]
+    divergence: Optional[Divergence] = None
+    stats_diff: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    violations_equal: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return (self.divergence is None and not self.stats_diff
+                and self.violations_equal
+                and self.cycles[0] == self.cycles[1])
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "a": self.a_label,
+            "b": self.b_label,
+            "ok": self.ok,
+            "events": list(self.events),
+            "cycles": list(self.cycles),
+            "divergence": (self.divergence.to_dict()
+                           if self.divergence else None),
+            "stats_diff": {k: list(v) for k, v in self.stats_diff.items()},
+            "violations_equal": self.violations_equal,
+        }
+
+    def describe(self) -> str:
+        head = (f"{self.subject}: {self.a_label} vs {self.b_label} — "
+                f"{'identical' if self.ok else 'DIVERGED'} "
+                f"({self.events[0]}/{self.events[1]} events, "
+                f"cycles {self.cycles[0]}/{self.cycles[1]})")
+        if self.ok:
+            return head
+        parts = [head]
+        if self.divergence is not None:
+            parts.append(self.divergence.describe())
+        if self.stats_diff:
+            shown = list(self.stats_diff.items())[:10]
+            parts.append("stats diff: " + "; ".join(
+                f"{k}: {a} vs {b}" for k, (a, b) in shown))
+        if not self.violations_equal:
+            parts.append("violation logs differ")
+        return "\n".join(parts)
+
+
+def diff_captures(a: CapturedTrace, b: CapturedTrace,
+                  context: int = 3) -> DiffResult:
+    """Compare two captures of one subject; raises on schema or
+    configuration mismatch (those are operator errors, not findings)."""
+    if a.schema_version != b.schema_version:
+        raise SchemaMismatchError(
+            f"cannot diff traces with different schema versions: "
+            f"{a.engine} has schema_version={a.schema_version}, "
+            f"{b.engine} has schema_version={b.schema_version} — "
+            f"re-record the older trace "
+            f"(python -m repro oracle record)")
+    if a.fingerprint != b.fingerprint:
+        raise FingerprintMismatchError(
+            f"cannot diff traces recorded under different GPU/shield "
+            f"configurations: fingerprint {a.fingerprint} != "
+            f"{b.fingerprint} for subject {a.subject!r}")
+    divergence = diff_wire_events(a.wire_events(), b.wire_events(),
+                                  context=context)
+    stats_diff = StatsSnapshot(a.stats).diff(StatsSnapshot(b.stats))
+    return DiffResult(
+        subject=a.subject,
+        a_label=a.engine,
+        b_label=b.engine,
+        events=(len(a.events), len(b.events)),
+        cycles=(a.cycles, b.cycles),
+        divergence=divergence,
+        stats_diff=stats_diff,
+        violations_equal=a.violations == b.violations)

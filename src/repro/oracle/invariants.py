@@ -1,0 +1,213 @@
+"""Cross-layer invariant checking over a captured trace.
+
+A trace is only an oracle if it agrees with every other layer that
+observed the same run.  :func:`check_capture` holds a
+:class:`~repro.oracle.capture.CapturedTrace` to:
+
+1. **Trace vs issue counters** — access events equal
+   ``cores.*.issue.mem_instructions``; summed non-shared transactions
+   equal ``cores.*.issue.transactions``.
+2. **Trace vs cache counters** — per-space transaction sums equal the
+   matching L1 structure's ``hits + misses`` (global/local → L1D,
+   const → constant cache, texture → texture cache).
+3. **Trace vs violation log** — blocked events (``allowed=False``) and
+   drained :class:`ViolationRecord`\\ s match 1:1 on
+   (kernel_id, cycle, lo, hi, is_store).
+4. **Cycle monotonicity** — per (core, kernel) the access stream never
+   goes backwards in time.
+5. **Stage structure** (stage-level captures) — every non-shared
+   access is preceded by exactly one coalesce event whose segments
+   tile the warp's lo/hi footprint, one translate + one cache event
+   per transaction (same segment bases, same order), and one check
+   event whose verdict matches; shared accesses carry no stage events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.stats import StatsSnapshot
+from repro.analysis.trace import StageEvent, TraceEvent
+from repro.gpu.coalescer import CoalescedAccess
+from repro.oracle.capture import CapturedTrace
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one capture's cross-layer validation."""
+
+    subject: str
+    engine: str
+    checked: Dict[str, int] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"subject": self.subject, "engine": self.engine,
+                "ok": self.ok, "checked": self.checked,
+                "failures": self.failures}
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        head = (f"{self.subject} [{self.engine}]: invariants {status} "
+                f"({sum(self.checked.values())} checks)")
+        return "\n".join([head] + [f"    {f}" for f in self.failures[:20]])
+
+
+def _space_l1(space: str) -> str:
+    if space == "const":
+        return "const"
+    if space == "texture":
+        return "tex"
+    return "l1d"
+
+
+def check_capture(cap: CapturedTrace) -> InvariantReport:
+    report = InvariantReport(subject=cap.subject, engine=cap.engine)
+    fail = report.failures.append
+    checked = report.checked
+    snap = StatsSnapshot(cap.stats)
+
+    access_events = [e for e in cap.events if isinstance(e, TraceEvent)]
+    stage_events = [e for e in cap.events if isinstance(e, StageEvent)]
+
+    # -- 1: trace vs issue counters ---------------------------------------
+    issued = int(snap.total("cores.*.issue.mem_instructions"))
+    if len(access_events) != issued:
+        fail(f"access events ({len(access_events)}) != "
+             f"cores.*.issue.mem_instructions ({issued})")
+    traced_tx = sum(e.transactions for e in access_events
+                    if e.space != "shared")
+    counted_tx = int(snap.total("cores.*.issue.transactions"))
+    if traced_tx != counted_tx:
+        fail(f"summed non-shared transactions ({traced_tx}) != "
+             f"cores.*.issue.transactions ({counted_tx})")
+    checked["issue"] = 2
+
+    # -- 2: trace vs per-space L1 traffic ---------------------------------
+    per_space: Dict[str, int] = {}
+    for ev in access_events:
+        if ev.space != "shared":
+            per_space[ev.space] = per_space.get(ev.space, 0) \
+                + ev.transactions
+    per_l1: Dict[str, int] = {}
+    for space, count in per_space.items():
+        comp = _space_l1(space)
+        per_l1[comp] = per_l1.get(comp, 0) + count
+    for comp in ("l1d", "const", "tex"):
+        probes = int(snap.total(f"cores.*.{comp}.hits")
+                     + snap.total(f"cores.*.{comp}.misses"))
+        expect = per_l1.get(comp, 0)
+        if probes != expect:
+            fail(f"trace transactions for {comp} ({expect}) != "
+                 f"{comp} hits+misses ({probes})")
+        checked[f"space.{comp}"] = 1
+
+    # -- 3: blocked events vs the violation log ---------------------------
+    blocked = sorted((e.kernel_id, e.cycle, e.lo, e.hi, e.is_store)
+                     for e in access_events if not e.allowed)
+    logged = sorted((int(v["kernel_id"]), int(v["cycle"]), int(v["lo"]),
+                     int(v["hi"]), bool(v["is_store"]))
+                    for v in cap.violations)
+    if blocked != logged:
+        fail(f"blocked events ({len(blocked)}) and violation records "
+             f"({len(logged)}) do not match 1:1; first difference: "
+             f"{next((p for p in zip(blocked, logged) if p[0] != p[1]), (blocked or logged)[:1])}")
+    checked["violations"] = 1
+
+    # -- 4: cycle monotonicity per (core, kernel) -------------------------
+    last_cycle: Dict[tuple, int] = {}
+    for ev in access_events:
+        key = (ev.core, ev.kernel_id)
+        if ev.cycle < last_cycle.get(key, -1):
+            fail(f"cycle went backwards on core {ev.core} kernel "
+                 f"{ev.kernel_id}: {last_cycle[key]} -> {ev.cycle}")
+            break
+        last_cycle[key] = ev.cycle
+    checked["monotone"] = len(access_events)
+
+    # -- 5: stage structure ----------------------------------------------
+    if cap.stage_level:
+        _check_stage_structure(cap, access_events, stage_events, report)
+    return report
+
+
+def _check_stage_structure(cap: CapturedTrace,
+                           access_events: List[TraceEvent],
+                           stage_events: List[StageEvent],
+                           report: InvariantReport) -> None:
+    fail = report.failures.append
+    line = cap.line_size
+    pending: Dict[int, List[StageEvent]] = {}
+    groups = 0
+    for ev in cap.events:
+        if isinstance(ev, StageEvent):
+            pending.setdefault(ev.core, []).append(ev)
+            continue
+        group = pending.pop(ev.core, [])
+        groups += 1
+        if ev.space == "shared":
+            if group:
+                fail(f"shared access at cycle {ev.cycle} core {ev.core} "
+                     f"has {len(group)} stage events (expected none)")
+            continue
+        expect = 2 + 2 * ev.transactions  # coalesce + (tr+cache)*ntx + check
+        has_check = bool(group) and group[-1].stage == "check"
+        if not has_check:
+            expect -= 1
+        if len(group) != expect or not group or \
+                group[0].stage != "coalesce":
+            fail(f"access at cycle {ev.cycle} core {ev.core}: stage "
+                 f"group malformed ({[g.stage for g in group]} for "
+                 f"{ev.transactions} transactions)")
+            continue
+        co = group[0]
+        if (co.lo, co.hi, co.transactions) != (ev.lo, ev.hi,
+                                               ev.transactions):
+            fail(f"coalesce event disagrees with access at cycle "
+                 f"{ev.cycle} core {ev.core}: "
+                 f"({co.lo}, {co.hi}, {co.transactions}) != "
+                 f"({ev.lo}, {ev.hi}, {ev.transactions})")
+        ca = CoalescedAccess(transactions=co.segments, min_addr=co.lo,
+                             max_addr=co.hi,
+                             active_lanes=co.active_lanes)
+        if not ca.tiles_footprint(line):
+            fail(f"coalesce segments {list(co.segments)} do not tile "
+                 f"footprint [{co.lo}, {co.hi}] at cycle {ev.cycle} "
+                 f"core {ev.core}")
+        pairs = group[1:1 + 2 * ev.transactions]
+        translates = pairs[0::2]
+        caches = pairs[1::2]
+        if ([t.stage for t in translates] != ["translate"] * ev.transactions
+                or [c.stage for c in caches] != ["cache"] * ev.transactions):
+            fail(f"translate/cache interleave malformed at cycle "
+                 f"{ev.cycle} core {ev.core}")
+        elif (tuple(t.tx for t in translates) != co.segments
+                or tuple(c.tx for c in caches) != co.segments):
+            fail(f"per-transaction stage events do not visit the "
+                 f"coalesced segments in order at cycle {ev.cycle} "
+                 f"core {ev.core}")
+        if has_check:
+            ck = group[-1]
+            if ck.allowed != ev.allowed:
+                fail(f"check verdict ({ck.allowed}) disagrees with "
+                     f"access event ({ev.allowed}) at cycle {ev.cycle} "
+                     f"core {ev.core}")
+        elif not ev.allowed:
+            fail(f"blocked access without a check stage event at cycle "
+                 f"{ev.cycle} core {ev.core}")
+        for sub in group:
+            if (sub.cycle, sub.warp_id, sub.kernel_id) != \
+                    (ev.cycle, ev.warp_id, ev.kernel_id):
+                fail(f"stage event identity mismatch inside access at "
+                     f"cycle {ev.cycle} core {ev.core}")
+                break
+    leftover = sum(len(v) for v in pending.values())
+    if leftover:
+        fail(f"{leftover} stage events not followed by their access "
+             f"event")
+    report.checked["stage_groups"] = groups

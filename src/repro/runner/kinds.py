@@ -41,6 +41,7 @@ _LAZY: Dict[str, str] = {
     "harness.matrix_cell": "repro.analysis.harness:matrix_cell_job",
     "bench.artifact": "repro.analysis.bench:run_artifact_job",
     "device.selftest": "repro.device.selftest:device_selftest_job",
+    "oracle.diff": "repro.oracle.runner:oracle_diff_job",
 }
 
 

@@ -344,3 +344,30 @@ class TestHarnessSeedPlumbing:
             assert runner.session.driver.seed == 0x1234
         finally:
             runner.close()
+
+
+class TestWarmPoolTracerHygiene:
+    """``release_device`` must strip any tracer the harness attached:
+    a pooled device with a stale tracer would silently append the next
+    (unrelated) run's events to the old owner's stream."""
+
+    def test_release_detaches_tracer(self):
+        from repro.analysis.trace import MemoryTracer
+        device = acquire_device(nvidia_config(num_cores=2), None, seed=3)
+        device.gpu.attach_tracer(MemoryTracer())
+        assert all(core.tracer is not None for core in device.gpu.cores)
+        release_device(device)
+        assert all(core.tracer is None for core in device.gpu.cores)
+
+    def test_pooled_device_never_leaks_into_old_stream(self):
+        from repro.analysis.trace import MemoryTracer
+        cfg = nvidia_config(num_cores=2)
+        first = acquire_device(cfg, None, seed=3)
+        tracer = MemoryTracer()
+        first.gpu.attach_tracer(tracer)
+        release_device(first)
+        second = acquire_device(cfg, None, seed=3)
+        assert second is first          # same pooled object
+        _run_vecadd(second)
+        assert len(tracer) == 0
+        release_device(second)

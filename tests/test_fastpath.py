@@ -274,3 +274,44 @@ class TestWorkloadEquivalence:
         fast = self._record("fast", shield)
         assert asdict(slow) == asdict(fast)
         assert fast.cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# Differential: stage-level tracer streams, field-for-field
+# ---------------------------------------------------------------------------
+
+
+class TestTracerParity:
+    """With stage-level tracing on, the fast engine delegates traced
+    accesses to the reference pipeline bound over its own structures —
+    so both engines must emit *identical* event streams, not merely
+    identical end-of-run digests.  Held here over 20 fuzz seeds plus a
+    template workload, field for field on the wire form."""
+
+    SEEDS = list(range(1, 21))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fuzz_stage_streams_identical(self, seed):
+        from repro.oracle import capture
+        slow = capture(f"fuzz:{seed}", engine="slow", stage_level=True)
+        fast = capture(f"fuzz:{seed}", engine="fast", stage_level=True)
+        assert slow.wire_events() == fast.wire_events()
+        assert slow.violations == fast.violations
+        assert slow.stats == fast.stats
+        assert slow.cycles == fast.cycles
+        assert slow.content_hash() == fast.content_hash()
+
+    def test_template_stage_streams_identical(self):
+        from repro.oracle import capture
+        slow = capture("tpl:stencil", engine="slow", stage_level=True)
+        fast = capture("tpl:stencil", engine="fast", stage_level=True)
+        assert slow.wire_events() == fast.wire_events()
+
+    def test_access_only_streams_identical(self):
+        # stage_level=False keeps the fast lane on its inlined path; the
+        # access-event stream must still match the reference exactly.
+        from repro.oracle import capture
+        slow = capture("fuzz:9", engine="slow", stage_level=False)
+        fast = capture("fuzz:9", engine="fast", stage_level=False)
+        assert slow.wire_events() == fast.wire_events()
+        assert slow.content_hash() == fast.content_hash()

@@ -100,3 +100,57 @@ class TestAnalysis:
         back = MemoryTracer.from_jsonl(path)
         assert len(back) == count == len(tracer)
         assert back.events[0] == tracer.events[0]
+
+
+class TestStageLevelExport:
+    def test_stage_events_interleave_in_the_stream(self):
+        session = GpuSession(nvidia_config(num_cores=2),
+                             shield=ShieldConfig(enabled=True))
+        tracer = MemoryTracer(stage_level=True)
+        session.gpu.attach_tracer(tracer)
+        n = 128
+        a = session.driver.malloc(n * 4)
+        b = session.driver.malloc(n * 4)
+        c = session.driver.malloc(n * 4)
+        session.run(build_vecadd(), {"a": a, "b": b, "c": c, "n": n},
+                    2, 64)
+        assert len(tracer) == 12             # access events, as before
+        stages = [e.stage for e in tracer.stage_events]
+        assert stages.count("coalesce") == 12
+        assert stages.count("check") == 12
+        assert len(tracer.stream) == len(tracer.events) \
+            + len(tracer.stage_events)
+
+    def test_jsonl_header_carries_schema_and_meta(self, tmp_path):
+        import json
+
+        from repro.analysis.trace import (TRACE_SCHEMA_VERSION,
+                                          read_trace_file)
+        tracer = MemoryTracer()
+        tracer.record(TraceEvent(cycle=1, core=0, warp_id=0, kernel_id=1,
+                                 space="global", is_store=False, lo=0,
+                                 hi=3, transactions=1, active_lanes=4,
+                                 allowed=True))
+        path = str(tmp_path / "trace.jsonl")
+        tracer.to_jsonl(path, meta={"fingerprint": "abc123"})
+        first = json.loads(open(path).readline())
+        assert first["schema_version"] == TRACE_SCHEMA_VERSION
+        assert first["fingerprint"] == "abc123"
+        header, events = read_trace_file(path)
+        assert header["schema_version"] == TRACE_SCHEMA_VERSION
+        assert len(events) == 1
+
+    def test_legacy_headerless_file_reads_as_schema1(self, tmp_path):
+        import json
+
+        from repro.analysis.trace import event_to_wire, read_trace_file
+        event = TraceEvent(cycle=1, core=0, warp_id=0, kernel_id=1,
+                           space="global", is_store=False, lo=0, hi=3,
+                           transactions=1, active_lanes=4, allowed=True)
+        wire = dict(event_to_wire(event))
+        wire.pop("event")                      # schema-1 had no tag
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(json.dumps(wire) + "\n")
+        header, events = read_trace_file(str(path))
+        assert header["schema_version"] == 1
+        assert events == [event]
