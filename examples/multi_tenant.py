@@ -1,0 +1,72 @@
+"""Tour of the multi-tenant serving layer.
+
+Three tenants share the warm device pool: two honest ("acme" urgent,
+"globex" best-effort) and one hostile ("initech", mounting the fuzz
+attack corpus on half its requests).  The service schedules them with
+weighted fair queueing, pairs kernels from *different* tenants onto
+one device (§6.2 inter-core sharing), and writes every security event
+to an audit log attributed to a (tenant, request, buffer) triple.
+
+The finale replays every attack kind across a tenant boundary and
+shows the victim's buffers coming back bit-identical.
+
+Run:  python examples/multi_tenant.py
+"""
+
+import sys
+
+from repro.service import (TenantSpec, run_attack_matrix, run_service)
+from repro.service.attacks import render_matrix
+from repro.service.simulator import ServiceConfig
+
+
+def tenants():
+    return (
+        TenantSpec(tenant_id="acme", priority=0, weight=2,
+                   mean_interarrival=300, deadline_cycles=40_000),
+        TenantSpec(tenant_id="globex", priority=1, weight=1,
+                   mean_interarrival=500, max_queue_depth=4),
+        TenantSpec(tenant_id="initech", priority=1, weight=1,
+                   mean_interarrival=350,
+                   attack_kinds=("overflow", "underflow", "forged_id",
+                                 "inter_buffer"),
+                   attack_ratio=0.5),
+    )
+
+
+def main() -> int:
+    cfg = ServiceConfig(tenants=tenants(), requests_per_tenant=6,
+                        seed=2026, num_devices=2, coresidency=True)
+    cfg.validate()
+
+    print("== serving 3 tenants (1 hostile) on a 2-device pool ==\n")
+    report = run_service(cfg)
+    print(report.summary_text())
+
+    print("\n== audit log (security events only) ==")
+    for event in report.events:
+        who = event.tenant or "<unresolved>"
+        print(f"  cycle {event.cycle:>6}  {event.kind:<12} {who:<8} "
+              f"{event.request_id:<16} {event.buffer or '-':<12} "
+              f"{event.reason}")
+    print(f"\n  audit digest: {report.digest}")
+
+    # Every violation names the hostile tenant; honest tenants are clean.
+    blamed = {e.tenant for e in report.events if e.kind == "violation"}
+    assert blamed <= {"initech"}, f"mis-attributed violations: {blamed}"
+    print("  every violation attributed to 'initech' — "
+          "honest tenants clean")
+
+    print("\n== cross-tenant attack matrix ==\n")
+    matrix = run_attack_matrix(seed=7)
+    print(render_matrix(matrix))
+    if not matrix["all_pass"]:
+        print("ATTACK MATRIX FAILED", file=sys.stderr)
+        return 1
+    print("\nAll attack kinds detected across the tenant boundary; the")
+    print("victim's buffer digests match a solo baseline bit-for-bit.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig19                # software-tool comparison
     python -m repro bench --jobs 4       # all sweeps on the parallel runner
     python -m repro fuzz --cases 200     # differential fuzzing campaign
+    python -m repro serve --tenants 3    # multi-tenant serving simulator
 
 Artefacts that need long sweeps accept ``--subset N`` to restrict to the
 first N benchmarks of the relevant set.  ``bench`` runs every artefact
@@ -86,11 +87,15 @@ def main(argv=None) -> int:
         # Forward to the conformance oracle: python -m repro oracle diff ...
         from repro.oracle.cli import main as oracle_main
         return oracle_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Forward to the serving simulator: python -m repro serve ...
+        from repro.service.cli import main as serve_main
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate GPUShield paper tables/figures.")
     parser.add_argument("artifact",
-                        help="one of: list, fuzz, bench, oracle, "
+                        help="one of: list, fuzz, bench, oracle, serve, "
                              + ", ".join(ARTIFACTS))
     parser.add_argument("--subset", type=int, default=None,
                         help="restrict sweeps to the first N benchmarks")

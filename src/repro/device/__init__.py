@@ -5,8 +5,10 @@ from repro.device.cache import (
     acquire_device,
     device_cache_stats,
     device_fingerprint,
+    max_idle_per_key,
     release_device,
     reset_device_cache,
+    set_max_idle_per_key,
     set_warm_devices,
     warm_devices,
     warm_devices_enabled,
@@ -30,8 +32,10 @@ __all__ = [
     "acquire_device",
     "device_cache_stats",
     "device_fingerprint",
+    "max_idle_per_key",
     "release_device",
     "reset_device_cache",
+    "set_max_idle_per_key",
     "set_warm_devices",
     "warm_devices",
     "warm_devices_enabled",

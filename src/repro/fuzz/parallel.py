@@ -102,12 +102,14 @@ def merge_campaign(results: Sequence[JobResult], *, seed: int,
 
     stats = StatsRegistry()
     for result in results:
-        # device.cache.* is process-local scheduling telemetry (how many
-        # warm hits each worker happened to get), not a workload
-        # observable — folding it in would make the merged campaign
-        # differ from the serial run by construction.
+        # device.cache.* / device.pool.* are process-local scheduling
+        # telemetry (how many warm hits and evictions each worker
+        # happened to get), not a workload observable — folding them in
+        # would make the merged campaign differ from the serial run by
+        # construction.
         stats.merge({k: v for k, v in result.stats.items()
-                     if not k.startswith("device.cache.")})
+                     if not k.startswith(("device.cache.",
+                                          "device.pool."))})
 
     merged = CampaignResult(seed=seed, stats=stats)
     ordered = sorted(results, key=lambda r: int(r.payload["index_base"]))

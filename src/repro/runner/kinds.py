@@ -42,6 +42,7 @@ _LAZY: Dict[str, str] = {
     "bench.artifact": "repro.analysis.bench:run_artifact_job",
     "device.selftest": "repro.device.selftest:device_selftest_job",
     "oracle.diff": "repro.oracle.runner:oracle_diff_job",
+    "service.shard": "repro.service.executor:run_service_shard",
 }
 
 

@@ -1,0 +1,54 @@
+"""The multi-tenant serving layer: traffic -> schedule -> devices -> audit.
+
+The subsystem that turns the warm device pool into a tenant-facing
+service:
+
+* :mod:`repro.service.tenant`    — TenantSpec (quotas, priority, attack
+  mix) and the per-tenant buffer namespace;
+* :mod:`repro.service.traffic`   — seeded open-loop request generation
+  over the fuzz case corpus (no wall-clock anywhere);
+* :mod:`repro.service.scheduler` — admission control, weighted
+  fair-share queueing, co-residency pairing, shed/defer taxonomy;
+* :mod:`repro.service.audit`     — the append-only JSONL audit log with
+  (tenant, request, buffer) violation attribution;
+* :mod:`repro.service.executor`  — placements onto warm devices, the
+  ``service.shard`` runner kind, device-failure reset handling;
+* :mod:`repro.service.attacks`   — the cross-tenant attack matrix;
+* :mod:`repro.service.simulator` — the orchestrator + service metrics;
+* :mod:`repro.service.cli`       — ``python -m repro serve``.
+"""
+
+from repro.service.attacks import run_attack_matrix
+from repro.service.audit import (AuditEvent, audit_digest, load_audit,
+                                 write_audit_log)
+from repro.service.executor import execute_placement, run_service_shard
+from repro.service.scheduler import (SHED, Placement, SchedulerConfig,
+                                     ServicePlan, schedule)
+from repro.service.simulator import ServiceConfig, ServiceReport, run_service
+from repro.service.tenant import TenantSpec, buffer_namespace, default_tenants
+from repro.service.traffic import (ServiceRequest, TrafficGenerator,
+                                   estimate_cycles)
+
+__all__ = [
+    "AuditEvent",
+    "Placement",
+    "SHED",
+    "SchedulerConfig",
+    "ServiceConfig",
+    "ServicePlan",
+    "ServiceReport",
+    "ServiceRequest",
+    "TenantSpec",
+    "TrafficGenerator",
+    "audit_digest",
+    "buffer_namespace",
+    "default_tenants",
+    "estimate_cycles",
+    "execute_placement",
+    "load_audit",
+    "run_attack_matrix",
+    "run_service",
+    "run_service_shard",
+    "schedule",
+    "write_audit_log",
+]

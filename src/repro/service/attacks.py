@@ -1,0 +1,187 @@
+"""The cross-tenant attack matrix: every fuzz attack, across a boundary.
+
+The fuzz campaign (PR 2) established that the shield detects each
+attack kind when the attacker owns the whole device.  The serving layer
+makes a stronger claim — §6.2 co-residency is *safe* — so this module
+replays every attack kind with the attacker ("mallory") co-resident
+with an honest tenant ("alice") on one device, in ``inter_core`` pair
+mode, and checks the three properties tenant isolation actually needs:
+
+1. **Detection** — every attack still raises at least one shield
+   violation while co-resident (nothing hides behind a neighbour).
+2. **Attribution** — every violation resolves to mallory's kernel and
+   namespace; none ever attributes to alice (no false accusations).
+3. **No leakage** — alice's buffer digests while co-resident with the
+   attacker are bit-identical to a baseline run of alice alone on the
+   same placement seed.  Buffer contents are case-seeded and
+   layout-free (see :mod:`repro.service.executor`), so *any* divergence
+   is cross-tenant interference.
+
+A safe/safe control pair closes the loop: two honest co-resident
+tenants must produce zero violations (no false positives under
+co-residency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.fuzz.generator import CaseGenerator
+from repro.fuzz.spec import ATTACK_KINDS
+from repro.service.executor import SERVICE_NUM_CORES, execute_placement
+from repro.service.scheduler import PAIR_MODE, Placement
+from repro.service.tenant import NS_SEP
+from repro.service.traffic import ServiceRequest, estimate_cycles
+
+ATTACKER = "mallory"
+VICTIM = "alice"
+
+
+def _request(tenant: str, kind: str, index: int, seed: int) -> ServiceRequest:
+    case = CaseGenerator(seed).draw_kind(kind, index)
+    return ServiceRequest(
+        request_id=f"{tenant}-r{index:04d}", tenant_id=tenant, index=index,
+        arrival_cycle=0, case=case, est_cycles=estimate_cycles(case))
+
+
+def _race_free(case) -> bool:
+    """True when the case's final memory state is schedule-independent.
+
+    A drawn safe case can race with *itself*: thread 0's probe store to
+    ``b<victim>[probe]`` vs thread ``probe``'s benign-phase access of
+    the same word.  Which one wins depends on thread scheduling, which
+    legitimately differs between solo and co-resident execution — so a
+    racy victim cannot serve as a leakage witness (its digests change
+    with the schedule even with no attacker present).  Race-free means:
+    no benign phase at all, or the probe lands beyond every benign
+    thread (a store-probe past ``total_threads`` has no racing reader
+    or writer).
+    """
+    return (case.benign_rounds == 0
+            or (case.attack_is_store and case.probe >= case.total_threads))
+
+
+def _victim_request(index: int, seed: int) -> ServiceRequest:
+    """A race-free safe case for the victim, deterministically chosen
+    by scanning draw indices from ``index`` upward."""
+    for candidate in range(index, index + 4096):
+        case = CaseGenerator(seed).draw_kind("safe", candidate)
+        if _race_free(case):
+            return ServiceRequest(
+                request_id=f"{VICTIM}-r{index:04d}", tenant_id=VICTIM,
+                index=index, arrival_cycle=0, case=case,
+                est_cycles=estimate_cycles(case))
+    raise RuntimeError(f"no race-free safe case within 4096 draws of "
+                       f"index {index} (seed {seed})")
+
+
+def _entry(result: dict, request_id: str) -> dict:
+    for entry in result["entries"]:
+        if entry["request_id"] == request_id:
+            return entry
+    raise KeyError(f"no entry for {request_id} in placement result")
+
+
+def _attributed_to_attacker(violations: Sequence[dict]) -> bool:
+    """Every violation names mallory; its buffer is in mallory's
+    namespace or unresolved ("" — a forged region ID decrypts to
+    garbage by design, but the kernel still pins the request)."""
+    return all(
+        v["tenant"] == ATTACKER
+        and (v["buffer"] == "" or v["buffer"].startswith(ATTACKER + NS_SEP))
+        for v in violations)
+
+
+def run_attack_matrix(*, seed: int = 7,
+                      kinds: Optional[Sequence[str]] = None,
+                      num_cores: int = SERVICE_NUM_CORES) -> Dict[str, object]:
+    """Replay every attack kind across the tenant boundary.
+
+    Returns the full matrix plus roll-ups: ``detection_rate`` (must be
+    1.0), ``false_positives`` (must be 0, from the safe/safe control),
+    and ``all_pass``.
+    """
+    kinds = list(kinds if kinds is not None else ATTACK_KINDS)
+    rows = []
+    for i, kind in enumerate(kinds):
+        attacker = _request(ATTACKER, kind, i, seed)
+        victim = _victim_request(i, seed + 1000)
+        # Baseline: the victim alone, same placement index (hence same
+        # derived device seed) as the co-resident run.
+        baseline = execute_placement(
+            Placement(index=i, device=0, start_cycle=0, mode="single",
+                      requests=(victim,)),
+            seed=seed, num_cores=num_cores)
+        paired = execute_placement(
+            Placement(index=i, device=0, start_cycle=0, mode=PAIR_MODE,
+                      requests=(attacker, victim)),
+            seed=seed, num_cores=num_cores)
+
+        attacker_entry = _entry(paired, attacker.request_id)
+        victim_entry = _entry(paired, victim.request_id)
+        baseline_entry = _entry(baseline, victim.request_id)
+
+        detected = len(attacker_entry["violations"]) > 0
+        victim_clean = len(victim_entry["violations"]) == 0
+        attributed = _attributed_to_attacker(attacker_entry["violations"])
+        leakage_free = (victim_entry["digests"]
+                        == baseline_entry["digests"])
+        rows.append({
+            "kind": kind,
+            "detected": detected,
+            "violations": len(attacker_entry["violations"]),
+            "reasons": sorted({v["reason"]
+                               for v in attacker_entry["violations"]}),
+            "attributed": attributed,
+            "victim_clean": victim_clean,
+            "leakage_free": leakage_free,
+            "pass": detected and attributed and victim_clean
+                    and leakage_free,
+        })
+
+    # Control: two honest tenants co-resident — zero violations allowed.
+    safe_a = _request(ATTACKER, "safe", len(kinds), seed)
+    safe_b = _request(VICTIM, "safe", len(kinds), seed + 1000)
+    control_result = execute_placement(
+        Placement(index=len(kinds), device=0, start_cycle=0,
+                  mode=PAIR_MODE, requests=(safe_a, safe_b)),
+        seed=seed, num_cores=num_cores)
+    false_positives = sum(len(e["violations"])
+                          for e in control_result["entries"])
+
+    detection_rate = (sum(1 for r in rows if r["detected"]) / len(rows)
+                      if rows else 1.0)
+    return {
+        "seed": seed,
+        "attacker": ATTACKER,
+        "victim": VICTIM,
+        "rows": rows,
+        "detection_rate": detection_rate,
+        "false_positives": false_positives,
+        "all_pass": (all(r["pass"] for r in rows)
+                     and false_positives == 0),
+    }
+
+
+def render_matrix(matrix: Dict[str, object]) -> str:
+    """Human-readable table of the matrix (for the CLI)."""
+    lines = [
+        f"cross-tenant attack matrix: {matrix['attacker']} vs "
+        f"{matrix['victim']}, seed {matrix['seed']}",
+        f"  {'kind':<16} {'det':>4} {'viol':>5} {'attr':>5} "
+        f"{'clean':>5} {'leak0':>5}  reasons",
+    ]
+    for row in matrix["rows"]:
+        lines.append(
+            f"  {row['kind']:<16} "
+            f"{'yes' if row['detected'] else 'NO':>4} "
+            f"{row['violations']:>5} "
+            f"{'yes' if row['attributed'] else 'NO':>5} "
+            f"{'yes' if row['victim_clean'] else 'NO':>5} "
+            f"{'yes' if row['leakage_free'] else 'NO':>5}  "
+            f"{','.join(row['reasons'])}")
+    lines.append(
+        f"  detection {100 * matrix['detection_rate']:.0f}%, "
+        f"false positives {matrix['false_positives']}, "
+        f"{'ALL PASS' if matrix['all_pass'] else 'FAILURES PRESENT'}")
+    return "\n".join(lines)

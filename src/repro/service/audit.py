@@ -1,0 +1,113 @@
+"""The security audit log: append-only JSONL, tenant-attributed.
+
+Journal-style (one fsynced JSON object per line, a header line first)
+like :mod:`repro.runner.journal`, but recording *security* events on
+the service's simulated clock rather than runner attempts on the wall
+clock:
+
+``violation``      one shield :class:`~repro.core.violations.ViolationRecord`,
+                   resolved to a (tenant, request, buffer) triple
+``shed``           a request rejected at admission (queue quota)
+``expired``        a request deferred past its queueing deadline
+``device_reset``   a device failure handled by reset before (re)running
+                   a placement
+
+Events are canonically ordered — ``(cycle, kind, request_id, ordinal)``
+— and numbered with a global ``seq`` before writing, so the log bytes
+and :func:`audit_digest` are bit-identical however the placements were
+executed (serial, ``--jobs N``, either engine).  The header carries the
+run's configuration fingerprint but is excluded from the digest: the
+digest states what *happened*, the header states what was asked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+AUDIT_SCHEMA = 1
+
+#: Canonical ordering of event kinds within one cycle.
+_KIND_ORDER = {"shed": 0, "expired": 1, "device_reset": 2, "violation": 3}
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One audited security event on the simulated clock."""
+
+    seq: int
+    cycle: int
+    kind: str            # see module docstring
+    tenant: str          # attributed tenant ("" for device-level events)
+    request_id: str
+    buffer: str = ""     # namespaced "<tenant>/<buffer>"; "" if unresolved
+    kernel_id: int = 0
+    lo: int = 0
+    hi: int = 0
+    is_store: bool = False
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AuditEvent":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__})
+
+
+def order_events(events: Sequence[AuditEvent]) -> List[AuditEvent]:
+    """Re-sequence events into the canonical total order."""
+    def key(event: AuditEvent):
+        return (event.cycle, _KIND_ORDER.get(event.kind, 9),
+                event.request_id, event.seq)
+    ordered = sorted(events, key=key)
+    return [AuditEvent(**{**e.to_dict(), "seq": i})
+            for i, e in enumerate(ordered)]
+
+
+def audit_digest(events: Sequence[AuditEvent]) -> str:
+    """SHA-256 over the canonical event stream (headerless)."""
+    blob = json.dumps([e.to_dict() for e in events], sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def write_audit_log(path: str, events: Sequence[AuditEvent],
+                    meta: Optional[dict] = None) -> str:
+    """Persist the log: header line, then one event per line, fsynced.
+
+    Append-only by construction — the file is written once, forward
+    only, and each line is flushed before the next; a reader that
+    crashes mid-write sees a valid prefix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    header = {"audit_schema": AUDIT_SCHEMA, "events": len(events),
+              "digest": audit_digest(events)}
+    header.update(meta or {})
+    with open(path, "w") as fh:
+        for record in [header] + [e.to_dict() for e in events]:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+    return path
+
+
+def load_audit(path: str) -> Tuple[dict, List[AuditEvent]]:
+    """Read a log back: (header, events).  Verifies the header digest."""
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines or "audit_schema" not in lines[0]:
+        raise ValueError(f"{path}: not an audit log (missing header)")
+    header = lines[0]
+    if header["audit_schema"] != AUDIT_SCHEMA:
+        raise ValueError(f"{path}: unsupported audit schema "
+                         f"{header['audit_schema']}")
+    events = [AuditEvent.from_dict(line) for line in lines[1:]]
+    digest = audit_digest(events)
+    if header.get("digest") not in (None, digest):
+        raise ValueError(f"{path}: audit digest mismatch "
+                         f"(header {header['digest']}, events {digest})")
+    return header, events

@@ -1,0 +1,253 @@
+"""Admission control and fair-share scheduling onto simulated devices.
+
+A discrete-event simulation over the trace's arrival cycles and the
+planning cost model (:func:`~repro.service.traffic.estimate_cycles`) —
+integer arithmetic only, so the resulting :class:`ServicePlan` is a
+pure function of (trace, tenants, config) and two processes planning
+the same service run agree on every placement.
+
+Admission and backpressure reuse the runner's failure taxonomy
+(:mod:`repro.runner.job`): a request that finds its tenant queue full
+is **shed** at arrival (status ``shed``, the service's own terminal
+status); a request *deferred* in queue past its tenant's deadline
+expires with status ``timeout``; everything dispatched ends ``ok``.
+
+Dispatch is weighted fair queueing across tenants: each tenant
+accumulates virtual service time (``est_cycles * SCALE / weight``) as
+its requests dispatch, and the next request comes from the non-empty
+queue with the smallest ``(priority, vtime, tenant_id)`` — priority
+classes strictly dominate, weights share within a class, and the id
+tiebreak keeps the order total.  With co-residency enabled the
+scheduler pairs the pick with the best request from a *different*
+tenant and places both on one device in the paper's §6.2 ``inter_core``
+mode — cross-tenant co-residency under load is exactly the situation
+region-based bounds checking exists to make safe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.job import OK, TIMEOUT
+from repro.service.tenant import TenantSpec
+from repro.service.traffic import ServiceRequest
+
+#: Terminal status of a request rejected at admission (queue full).
+#: Lives beside the runner's OK/ERROR/TIMEOUT vocabulary.
+SHED = "shed"
+
+#: Fixed-point scale for virtual time: integer WFQ, no float drift.
+_VSCALE = 1024
+
+#: §6.2 co-residency mode used for cross-tenant pairs.
+PAIR_MODE = "inter_core"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    num_devices: int = 2
+    coresidency: bool = True
+
+    def validate(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("need at least one device")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One dispatch decision: 1-2 requests on one device at one cycle."""
+
+    index: int
+    device: int
+    start_cycle: int
+    mode: str                              # "single" | PAIR_MODE
+    requests: Tuple[ServiceRequest, ...]
+
+    @property
+    def est_cycles(self) -> int:
+        """Planned occupancy: co-resident kernels overlap, so max."""
+        return max(r.est_cycles for r in self.requests)
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.est_cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"index": self.index, "device": self.device,
+                "start_cycle": self.start_cycle, "mode": self.mode,
+                "requests": [r.to_dict() for r in self.requests]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Placement":
+        return cls(index=int(data["index"]),       # type: ignore[arg-type]
+                   device=int(data["device"]),     # type: ignore[arg-type]
+                   start_cycle=int(data["start_cycle"]),  # type: ignore
+                   mode=str(data["mode"]),
+                   requests=tuple(ServiceRequest.from_dict(r)
+                                  for r in data["requests"]))
+
+
+@dataclass(frozen=True)
+class Disposition:
+    """What happened to one request, on the schedule clock."""
+
+    status: str        # OK | SHED | TIMEOUT
+    cycle: int         # dispatch / shed / expiry cycle
+    wait_cycles: int   # queueing delay (OK only; 0 otherwise)
+
+
+@dataclass
+class ServicePlan:
+    placements: List[Placement] = field(default_factory=list)
+    dispositions: Dict[str, Disposition] = field(default_factory=dict)
+    queue_peaks: Dict[str, int] = field(default_factory=dict)
+    makespan: int = 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {OK: 0, SHED: 0, TIMEOUT: 0}
+        for disp in self.dispositions.values():
+            out[disp.status] += 1
+        return out
+
+
+class _TenantState:
+    __slots__ = ("spec", "queue", "vtime", "running_ends", "peak")
+
+    def __init__(self, spec: TenantSpec):
+        self.spec = spec
+        self.queue: Deque[ServiceRequest] = deque()
+        self.vtime = 0
+        self.running_ends: List[int] = []
+        self.peak = 0
+
+
+def schedule(requests: Sequence[ServiceRequest],
+             tenants: Sequence[TenantSpec],
+             config: Optional[SchedulerConfig] = None) -> ServicePlan:
+    """Plan the whole trace; see the module docstring for semantics."""
+    cfg = config or SchedulerConfig()
+    cfg.validate()
+    states = {t.tenant_id: _TenantState(t) for t in tenants}
+    for request in requests:
+        if request.tenant_id not in states:
+            raise ValueError(f"request {request.request_id} names unknown "
+                             f"tenant {request.tenant_id!r}")
+
+    plan = ServicePlan()
+    arrivals: Deque[ServiceRequest] = deque(requests)
+    free = [0] * cfg.num_devices
+    now = 0
+
+    def admit(request: ServiceRequest) -> None:
+        state = states[request.tenant_id]
+        if len(state.queue) >= state.spec.max_queue_depth:
+            plan.dispositions[request.request_id] = Disposition(
+                SHED, request.arrival_cycle, 0)
+            return
+        state.queue.append(request)
+        state.peak = max(state.peak, len(state.queue))
+
+    def expire(at_cycle: int) -> None:
+        for state in states.values():
+            deadline = state.spec.deadline_cycles
+            if not deadline:
+                continue
+            kept: Deque[ServiceRequest] = deque()
+            for request in state.queue:
+                if request.arrival_cycle + deadline < at_cycle:
+                    plan.dispositions[request.request_id] = Disposition(
+                        TIMEOUT, request.arrival_cycle + deadline, 0)
+                else:
+                    kept.append(request)
+            state.queue = kept
+
+    def inflight(state: _TenantState, at_cycle: int) -> int:
+        state.running_ends = [end for end in state.running_ends
+                              if end > at_cycle]
+        return len(state.running_ends)
+
+    def pick(at_cycle: int,
+             exclude: Optional[str] = None) -> Optional[str]:
+        best: Optional[str] = None
+        best_key: Tuple[int, int, str] = (0, 0, "")
+        for tid in sorted(states):
+            state = states[tid]
+            if tid == exclude or not state.queue:
+                continue
+            cap = state.spec.max_inflight
+            if cap and inflight(state, at_cycle) >= cap:
+                continue
+            key = (state.spec.priority, state.vtime, tid)
+            if best is None or key < best_key:
+                best, best_key = tid, key
+        return best
+
+    def pop(tid: str, at_cycle: int) -> ServiceRequest:
+        state = states[tid]
+        request = state.queue.popleft()
+        state.vtime += request.est_cycles * _VSCALE // state.spec.weight
+        plan.dispositions[request.request_id] = Disposition(
+            OK, at_cycle, at_cycle - request.arrival_cycle)
+        return request
+
+    def any_queued() -> bool:
+        return any(state.queue for state in states.values())
+
+    while arrivals or any_queued():
+        while arrivals and arrivals[0].arrival_cycle <= now:
+            admit(arrivals.popleft())
+        if not any_queued():
+            if not arrivals:
+                break
+            now = arrivals[0].arrival_cycle
+            continue
+
+        device = min(range(cfg.num_devices), key=lambda d: (free[d], d))
+        if free[device] > now:
+            # The clock may only jump to the next event: a device
+            # freeing up, or an arrival that lands before it.
+            ahead = free[device]
+            if arrivals:
+                ahead = min(ahead, arrivals[0].arrival_cycle)
+            now = ahead
+            continue
+
+        expire(now)
+        if not any_queued():
+            continue
+        first = pick(now)
+        if first is None:
+            # Every queued tenant sits at its in-flight cap: advance to
+            # the earliest completion (or arrival) and retry.
+            pending = [end for state in states.values()
+                       for end in state.running_ends if end > now]
+            if arrivals:
+                pending.append(arrivals[0].arrival_cycle)
+            if not pending:
+                raise RuntimeError("scheduler deadlock: queued work with "
+                                   "no pending completion")
+            now = min(pending)
+            continue
+
+        picked = [pop(first, now)]
+        if cfg.coresidency:
+            second = pick(now, exclude=first)
+            if second is not None:
+                picked.append(pop(second, now))
+        placement = Placement(
+            index=len(plan.placements), device=device, start_cycle=now,
+            mode=PAIR_MODE if len(picked) == 2 else "single",
+            requests=tuple(picked))
+        plan.placements.append(placement)
+        free[device] = placement.end_cycle
+        for request in picked:
+            states[request.tenant_id].running_ends.append(
+                placement.end_cycle)
+
+    plan.queue_peaks = {tid: state.peak for tid, state in states.items()}
+    cycles = [d.cycle for d in plan.dispositions.values()]
+    cycles.extend(p.end_cycle for p in plan.placements)
+    plan.makespan = max(cycles, default=0)
+    return plan

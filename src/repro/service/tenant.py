@@ -1,0 +1,140 @@
+"""Tenancy model: who shares the device pool, and on what terms.
+
+A :class:`TenantSpec` is pure data — JSON round-trippable like a fuzz
+:class:`~repro.fuzz.spec.CaseSpec` — describing one tenant's traffic
+shape (open-loop arrival rate), scheduling terms (priority class and
+fair-share weight), admission quotas (bounded queue depth, optional
+in-flight cap, optional queueing deadline) and honesty (which fuzz
+attack kinds the tenant's kernels mount, and how often).
+
+Every buffer a tenant's request allocates lives in the tenant's
+**namespace**: the device-side allocation is named
+``<tenant_id>/<buffer>``, and because GPUShield assigns a region ID per
+allocation, every :class:`~repro.core.violations.ViolationRecord` the
+shield reports resolves back through (kernel ID -> request, region ID ->
+namespaced buffer) to a (tenant, request, buffer) triple — the
+attribution unit of the audit log.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.fuzz.spec import ATTACK_KINDS
+
+_TENANT_VERSION = 1
+
+#: Namespace separator; forbidden inside tenant ids so the mapping
+#: ``namespaced -> (tenant, buffer)`` stays unambiguous.
+NS_SEP = "/"
+
+
+def buffer_namespace(tenant_id: str, buffer_name: str) -> str:
+    """The device-side name of one tenant's buffer."""
+    return f"{tenant_id}{NS_SEP}{buffer_name}"
+
+
+def split_namespace(namespaced: str) -> Tuple[str, str]:
+    """Invert :func:`buffer_namespace`; ('', name) when un-namespaced."""
+    tenant, sep, name = namespaced.partition(NS_SEP)
+    return (tenant, name) if sep else ("", namespaced)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's contract with the service.  All times in cycles."""
+
+    tenant_id: str
+    priority: int = 1          # dispatch class; lower is more urgent
+    weight: int = 1            # fair share within a priority class
+    mean_interarrival: int = 400   # open-loop arrival spacing (cycles)
+    max_queue_depth: int = 8   # admission quota; beyond it, requests shed
+    max_inflight: int = 0      # running placements cap (0 = unlimited)
+    deadline_cycles: int = 0   # max queueing delay (0 = never expires)
+    attack_kinds: Tuple[str, ...] = ()   # () = honest tenant
+    attack_ratio: float = 0.0  # fraction of requests that attack
+
+    @property
+    def honest(self) -> bool:
+        return not self.attack_kinds or self.attack_ratio == 0.0
+
+    def validate(self) -> None:
+        if not self.tenant_id or NS_SEP in self.tenant_id:
+            raise ValueError(f"bad tenant id {self.tenant_id!r} "
+                             f"(non-empty, no {NS_SEP!r})")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+        if self.mean_interarrival < 1:
+            raise ValueError("mean_interarrival must be >= 1 cycle")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_inflight < 0 or self.deadline_cycles < 0:
+            raise ValueError("quotas must be non-negative")
+        unknown = set(self.attack_kinds) - set(ATTACK_KINDS)
+        if unknown:
+            raise ValueError(f"unknown attack kinds {sorted(unknown)}")
+        if not 0.0 <= self.attack_ratio <= 1.0:
+            raise ValueError("attack_ratio must be in [0, 1]")
+        if self.attack_ratio > 0 and not self.attack_kinds:
+            raise ValueError("attack_ratio > 0 needs attack_kinds")
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["attack_kinds"] = list(self.attack_kinds)
+        data["version"] = _TENANT_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TenantSpec":
+        data = dict(data)
+        version = data.pop("version", _TENANT_VERSION)
+        if version != _TENANT_VERSION:
+            raise ValueError(f"unsupported tenant version {version}")
+        data["attack_kinds"] = tuple(data.get("attack_kinds") or ())
+        spec = cls(**data)   # type: ignore[arg-type]
+        spec.validate()
+        return spec
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "TenantSpec":
+        return cls.from_dict(json.loads(blob))
+
+    def with_(self, **changes) -> "TenantSpec":
+        return replace(self, **changes)
+
+
+def default_tenants(count: int, *, attackers: int = 0,
+                    attack_ratio: float = 0.5,
+                    mean_interarrival: int = 400) -> List[TenantSpec]:
+    """A standard tenant mix: ``count`` tenants, the last ``attackers``
+    of them mounting the full fuzz attack corpus.
+
+    Honest tenants alternate between two priority classes so fair-share
+    and priority ordering are both exercised by any default trace.
+    """
+    if count < 1:
+        raise ValueError("need at least one tenant")
+    if not 0 <= attackers <= count:
+        raise ValueError("attackers must be within the tenant count")
+    tenants: List[TenantSpec] = []
+    for i in range(count):
+        is_attacker = i >= count - attackers
+        tenants.append(TenantSpec(
+            tenant_id=f"t{i}",
+            priority=i % 2,
+            weight=1 + (i % 3),
+            mean_interarrival=mean_interarrival,
+            attack_kinds=ATTACK_KINDS if is_attacker else (),
+            attack_ratio=attack_ratio if is_attacker else 0.0,
+        ))
+        tenants[-1].validate()
+    return tenants

@@ -1,0 +1,129 @@
+"""Seeded open-loop traffic: tenants emit requests on a simulated clock.
+
+No wall-clock anywhere.  Arrival times are integer cycles drawn from
+each tenant's own :class:`random.Random` stream (seeded from the trace
+seed and the tenant's position), and request bodies are fuzz
+:class:`~repro.fuzz.spec.CaseSpec` workloads drawn through the PR-2
+:class:`~repro.fuzz.generator.CaseGenerator` — honest tenants draw
+``safe`` cases, attackers mix in their configured attack kinds.  The
+whole trace is a pure function of (tenants, seed, volume), which is the
+first leg of the serving determinism contract.
+
+The scheduler plans against :func:`estimate_cycles` — a closed-form
+cost model over spec fields, *not* a measurement — so the placement
+plan is computable without touching a device, and identical no matter
+which process later executes it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.fuzz.generator import CaseGenerator
+from repro.fuzz.spec import CaseSpec
+from repro.service.tenant import TenantSpec
+
+
+def estimate_cycles(case: CaseSpec) -> int:
+    """The scheduler's planning cost for one request, in cycles.
+
+    A fixed arithmetic model — launch overhead, the benign streaming
+    phase (rounds x buffers x threads), and the thread-0 probe — chosen
+    to correlate with, but never read from, the simulator.  Keeping it
+    closed-form is what lets phase 2 (scheduling) run before phase 3
+    (execution) and still be deterministic across processes.
+    """
+    benign = case.benign_rounds * case.nbuf * case.total_threads
+    return 256 + benign + case.elems // 2 + 64 * case.workgroups
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One tenant's kernel-launch request, pinned to a simulated cycle."""
+
+    request_id: str       # "<tenant>-r<seq>"
+    tenant_id: str
+    index: int            # per-tenant sequence number
+    arrival_cycle: int
+    case: CaseSpec
+    est_cycles: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "tenant_id": self.tenant_id,
+            "index": self.index,
+            "arrival_cycle": self.arrival_cycle,
+            "case": self.case.to_dict(),
+            "est_cycles": self.est_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServiceRequest":
+        return cls(
+            request_id=str(data["request_id"]),
+            tenant_id=str(data["tenant_id"]),
+            index=int(data["index"]),           # type: ignore[arg-type]
+            arrival_cycle=int(data["arrival_cycle"]),  # type: ignore
+            case=CaseSpec.from_dict(data["case"]),     # type: ignore
+            est_cycles=int(data["est_cycles"]),        # type: ignore
+        )
+
+
+class TrafficGenerator:
+    """Deterministic open-loop traffic over a tenant set."""
+
+    def __init__(self, tenants: Sequence[TenantSpec], seed: int):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        ids = [t.tenant_id for t in tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tenant ids in {ids}")
+        for tenant in tenants:
+            tenant.validate()
+        self.tenants = list(tenants)
+        self.seed = seed
+
+    def _tenant_stream(self, position: int,
+                       per_tenant: int) -> List[ServiceRequest]:
+        tenant = self.tenants[position]
+        rng = random.Random((self.seed << 16) ^ (position * 0x9E3779B1))
+        cases = CaseGenerator((self.seed << 8) ^ (position * 0x01000193))
+        arrival = 0
+        out: List[ServiceRequest] = []
+        for i in range(per_tenant):
+            # Uniform on [1, 2*mean-1]: mean-preserving, never zero, so
+            # two requests of one tenant never share an arrival cycle.
+            arrival += rng.randint(1, 2 * tenant.mean_interarrival - 1)
+            kind = "safe"
+            if tenant.attack_kinds and rng.random() < tenant.attack_ratio:
+                kind = rng.choice(list(tenant.attack_kinds))
+            case = cases.draw_kind(kind, i)
+            out.append(ServiceRequest(
+                request_id=f"{tenant.tenant_id}-r{i:04d}",
+                tenant_id=tenant.tenant_id,
+                index=i,
+                arrival_cycle=arrival,
+                case=case,
+                est_cycles=estimate_cycles(case),
+            ))
+        return out
+
+    def generate(self, per_tenant: int) -> List[ServiceRequest]:
+        """The merged trace: every tenant's stream, in arrival order.
+
+        Ties across tenants (possible; within a tenant, impossible)
+        break on the tenant's position in the spec list — arrival order
+        is a total order, so downstream admission is deterministic.
+        """
+        if per_tenant < 0:
+            raise ValueError("per_tenant must be non-negative")
+        streams = [self._tenant_stream(pos, per_tenant)
+                   for pos in range(len(self.tenants))]
+        position = {t.tenant_id: i for i, t in enumerate(self.tenants)}
+        merged = [r for stream in streams for r in stream]
+        merged.sort(key=lambda r: (r.arrival_cycle,
+                                   position[r.tenant_id], r.index))
+        return merged

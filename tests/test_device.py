@@ -16,7 +16,8 @@ from repro.analysis.stats import StatsRegistry
 from repro.core.shield import ShieldConfig
 from repro.device import (MAX_IDLE_PER_KEY, GpuDevice, acquire_device,
                           device_cache_stats, device_fingerprint,
-                          release_device, reset_device_cache,
+                          max_idle_per_key, release_device,
+                          reset_device_cache, set_max_idle_per_key,
                           set_warm_devices, warm_devices,
                           warm_devices_enabled)
 from repro.device.selftest import device_selftest_job
@@ -239,7 +240,47 @@ class TestDeviceCache:
             release_device(device)
         stats = device_cache_stats()
         assert stats["idle"] == MAX_IDLE_PER_KEY
-        assert stats["discards"] == 2
+        # Pool-overflow drops are evictions (capacity), not discards
+        # (cold/duplicate/disabled releases).
+        assert stats["evictions"] == 2
+        assert stats["discards"] == 0
+
+    def test_max_idle_is_configurable(self):
+        cfg = nvidia_config(num_cores=2)
+        previous = set_max_idle_per_key(2)
+        try:
+            assert max_idle_per_key() == 2
+            assert device_cache_stats()["max_idle_per_key"] == 2
+            devices = [acquire_device(cfg, None, seed=i) for i in range(4)]
+            for device in devices:
+                release_device(device)
+            stats = device_cache_stats()
+            assert stats["idle"] == 2
+            assert stats["evictions"] == 2
+        finally:
+            set_max_idle_per_key(previous)
+
+    def test_shrinking_the_limit_evicts_oldest_first(self):
+        cfg = nvidia_config(num_cores=2)
+        previous = set_max_idle_per_key(3)
+        try:
+            devices = [acquire_device(cfg, None, seed=i) for i in range(3)]
+            for device in devices:
+                release_device(device)
+            assert device_cache_stats()["idle"] == 3
+            assert set_max_idle_per_key(1) == 3
+            stats = device_cache_stats()
+            assert stats["idle"] == 1
+            assert stats["evictions"] == 2
+            # The survivor is the most recently released device.
+            assert acquire_device(cfg, None, seed=9) is devices[-1]
+            release_device(devices[-1])
+        finally:
+            set_max_idle_per_key(previous)
+
+    def test_negative_limit_is_rejected(self):
+        with pytest.raises(ValueError):
+            set_max_idle_per_key(-1)
 
     def test_double_release_is_idempotent(self):
         device = acquire_device(nvidia_config(num_cores=2), None, seed=1)
@@ -370,4 +411,48 @@ class TestWarmPoolTracerHygiene:
         assert second is first          # same pooled object
         _run_vecadd(second)
         assert len(tracer) == 0
+        release_device(second)
+
+
+class TestWarmPoolViolationHygiene:
+    """``release_device`` must scrub undrained violation records: the
+    driver's ``finish`` drains the *whole* shield log, so records a
+    previous owner executed but never collected would be attributed to
+    the next owner's first kernel — a cross-tenant audit leak."""
+
+    def _violating_launch(self, device):
+        """Execute (but never ``finish``) a kernel that stores past its
+        output buffer, leaving violation records undrained in the log."""
+        drv = device.driver
+        a = drv.malloc(4 * N, name="a", read_only=True)
+        b = drv.malloc(4 * N, name="b", read_only=True)
+        c = drv.malloc(4 * (N // 2), name="c")   # half-sized output
+        drv.write(a, struct.pack(f"<{N}i", *range(N)))
+        drv.write(b, struct.pack(f"<{N}i", *range(N)))
+        launch = drv.launch(build_vecadd(),
+                            {"a": a, "b": b, "c": c, "n": N}, 2, 64)
+        device.gpu.run(launch, mode="single")
+        return launch
+
+    def test_release_scrubs_undrained_violations(self):
+        cfg = nvidia_config(num_cores=2)
+        shield = ShieldConfig(enabled=True)
+        first = acquire_device(cfg, shield, seed=3)
+        self._violating_launch(first)
+        assert first.shield.log.records        # undrained, pending
+        release_device(first)
+
+        second = acquire_device(cfg, shield, seed=3)
+        assert second is first                 # same pooled object
+        assert not second.shield.log.records
+        # The next owner's clean run must report zero violations.
+        drv = second.driver
+        a = drv.malloc(4 * N, name="a", read_only=True)
+        b = drv.malloc(4 * N, name="b", read_only=True)
+        c = drv.malloc(4 * N, name="c")
+        drv.write(a, struct.pack(f"<{N}i", *range(N)))
+        drv.write(b, struct.pack(f"<{N}i", *range(N)))
+        _result, violations = second.run(
+            build_vecadd(), {"a": a, "b": b, "c": c, "n": N}, 2, 64)
+        assert violations == []
         release_device(second)

@@ -1,0 +1,90 @@
+"""The audit log: canonical ordering, digests, JSONL persistence."""
+
+import json
+
+import pytest
+
+from repro.service.audit import (AUDIT_SCHEMA, AuditEvent, audit_digest,
+                                 load_audit, order_events, write_audit_log)
+
+
+def _events():
+    return [
+        AuditEvent(seq=0, cycle=500, kind="violation", tenant="t1",
+                   request_id="t1-r0001", buffer="t1/b2", kernel_id=4,
+                   lo=100, hi=103, is_store=True, reason="out-of-bounds"),
+        AuditEvent(seq=1, cycle=120, kind="shed", tenant="t0",
+                   request_id="t0-r0003", reason="queue-full"),
+        AuditEvent(seq=2, cycle=120, kind="violation", tenant="t2",
+                   request_id="t2-r0000", reason="invalid-id"),
+        AuditEvent(seq=3, cycle=120, kind="expired", tenant="t0",
+                   request_id="t0-r0002", reason="deadline"),
+    ]
+
+
+class TestOrdering:
+    def test_canonical_order_and_resequencing(self):
+        ordered = order_events(_events())
+        assert [e.kind for e in ordered] == ["shed", "expired",
+                                             "violation", "violation"]
+        assert [e.seq for e in ordered] == [0, 1, 2, 3]
+        assert ordered[0].cycle == 120
+        assert ordered[-1].cycle == 500
+
+    def test_order_is_input_permutation_invariant(self):
+        events = _events()
+        a = order_events(events)
+        b = order_events(list(reversed(events)))
+        assert a == b
+
+    def test_digest_tracks_content(self):
+        events = order_events(_events())
+        assert audit_digest(events) == audit_digest(list(events))
+        tweaked = list(events)
+        tweaked[0] = AuditEvent(**{**tweaked[0].to_dict(), "cycle": 121})
+        assert audit_digest(tweaked) != audit_digest(events)
+
+    def test_roundtrip(self):
+        for event in _events():
+            assert AuditEvent.from_dict(event.to_dict()) == event
+
+
+class TestPersistence:
+    def test_write_and_load(self, tmp_path):
+        events = order_events(_events())
+        path = str(tmp_path / "audit.jsonl")
+        write_audit_log(path, events, meta={"seed": 7})
+        header, loaded = load_audit(path)
+        assert header["audit_schema"] == AUDIT_SCHEMA
+        assert header["events"] == len(events)
+        assert header["seed"] == 7
+        assert header["digest"] == audit_digest(events)
+        assert loaded == events
+
+    def test_header_is_excluded_from_digest(self, tmp_path):
+        events = order_events(_events())
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        write_audit_log(a, events, meta={"seed": 1})
+        write_audit_log(b, events, meta={"seed": 2, "label": "other"})
+        assert load_audit(a)[0]["digest"] == load_audit(b)[0]["digest"]
+
+    def test_tampered_log_is_rejected(self, tmp_path):
+        events = order_events(_events())
+        path = str(tmp_path / "audit.jsonl")
+        write_audit_log(path, events)
+        lines = open(path).read().splitlines()
+        record = json.loads(lines[1])
+        record["tenant"] = "someone-else"
+        lines[1] = json.dumps(record, sort_keys=True)
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_audit(path)
+
+    def test_missing_header_is_rejected(self, tmp_path):
+        path = str(tmp_path / "bare.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_events()[0].to_dict()) + "\n")
+        with pytest.raises(ValueError, match="missing header"):
+            load_audit(path)

@@ -1,0 +1,96 @@
+"""Traffic generation: pure-function traces, total arrival order."""
+
+import pytest
+
+from repro.fuzz.spec import ATTACK_KINDS
+from repro.service.tenant import (TenantSpec, buffer_namespace,
+                                  default_tenants, split_namespace)
+from repro.service.traffic import (ServiceRequest, TrafficGenerator,
+                                   estimate_cycles)
+
+
+class TestTenantSpec:
+    def test_roundtrip(self):
+        spec = TenantSpec(tenant_id="acme", priority=0, weight=3,
+                          attack_kinds=("overflow",), attack_ratio=0.25)
+        again = TenantSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert TenantSpec.from_json(spec.to_json()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(tenant_id="").validate()
+        with pytest.raises(ValueError):
+            TenantSpec(tenant_id="a/b").validate()
+        with pytest.raises(ValueError):
+            TenantSpec(tenant_id="t", attack_kinds=("bogus",)).validate()
+        with pytest.raises(ValueError):
+            # A nonzero attack ratio needs attack kinds to draw from.
+            TenantSpec(tenant_id="t", attack_ratio=0.5).validate()
+
+    def test_namespace_roundtrip(self):
+        ns = buffer_namespace("acme", "b3")
+        assert ns == "acme/b3"
+        assert split_namespace(ns) == ("acme", "b3")
+
+    def test_default_tenants_attackers_are_last(self):
+        tenants = default_tenants(4, attackers=2)
+        assert [t.tenant_id for t in tenants] == ["t0", "t1", "t2", "t3"]
+        assert [t.honest for t in tenants] == [True, True, False, False]
+        assert all(set(t.attack_kinds) == set(ATTACK_KINDS)
+                   for t in tenants if not t.honest)
+
+
+class TestTrafficGenerator:
+    def _tenants(self):
+        return default_tenants(3, attackers=1)
+
+    def test_same_seed_same_trace(self):
+        a = TrafficGenerator(self._tenants(), seed=9).generate(8)
+        b = TrafficGenerator(self._tenants(), seed=9).generate(8)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = TrafficGenerator(self._tenants(), seed=9).generate(8)
+        b = TrafficGenerator(self._tenants(), seed=10).generate(8)
+        assert a != b
+
+    def test_arrival_order_is_total(self):
+        trace = TrafficGenerator(self._tenants(), seed=9).generate(8)
+        keys = [(r.arrival_cycle, r.tenant_id, r.index) for r in trace]
+        assert keys == sorted(keys)
+        # Within one tenant arrivals are strictly increasing (the
+        # interarrival draw is never zero).
+        for tenant in ("t0", "t1", "t2"):
+            mine = [r.arrival_cycle for r in trace
+                    if r.tenant_id == tenant]
+            assert mine == sorted(mine)
+            assert len(set(mine)) == len(mine)
+
+    def test_honest_tenants_draw_only_safe_cases(self):
+        trace = TrafficGenerator(self._tenants(), seed=9).generate(10)
+        for request in trace:
+            if request.tenant_id in ("t0", "t1"):
+                assert request.case.kind == "safe"
+
+    def test_attacker_mixes_in_attacks(self):
+        trace = TrafficGenerator(self._tenants(), seed=9).generate(20)
+        kinds = {r.case.kind for r in trace if r.tenant_id == "t2"}
+        assert kinds - {"safe"}, "attacker drew no attack cases in 20"
+        assert kinds <= set(ATTACK_KINDS) | {"safe"}
+
+    def test_duplicate_tenant_ids_rejected(self):
+        twins = [TenantSpec(tenant_id="x"), TenantSpec(tenant_id="x")]
+        with pytest.raises(ValueError):
+            TrafficGenerator(twins, seed=1)
+
+    def test_request_roundtrip(self):
+        trace = TrafficGenerator(self._tenants(), seed=9).generate(2)
+        for request in trace:
+            assert ServiceRequest.from_dict(request.to_dict()) == request
+
+    def test_estimate_is_pure_and_positive(self):
+        trace = TrafficGenerator(self._tenants(), seed=9).generate(5)
+        for request in trace:
+            assert request.est_cycles == estimate_cycles(request.case)
+            assert request.est_cycles > 0
