@@ -10,6 +10,7 @@ Usage::
     python -m repro bench --jobs 4       # all sweeps on the parallel runner
     python -m repro fuzz --cases 200     # differential fuzzing campaign
     python -m repro serve --tenants 3    # multi-tenant serving simulator
+    python -m repro race --fuzz-cases 50 # data-race scan (detector + static)
 
 Artefacts that need long sweeps accept ``--subset N`` to restrict to the
 first N benchmarks of the relevant set.  ``bench`` runs every artefact
@@ -91,12 +92,16 @@ def main(argv=None) -> int:
         # Forward to the serving simulator: python -m repro serve ...
         from repro.service.cli import main as serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "race":
+        # Forward to the race scanner: python -m repro race ...
+        from repro.racedetect.cli import main as race_main
+        return race_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate GPUShield paper tables/figures.")
     parser.add_argument("artifact",
                         help="one of: list, fuzz, bench, oracle, serve, "
-                             + ", ".join(ARTIFACTS))
+                             "race, " + ", ".join(ARTIFACTS))
     parser.add_argument("--subset", type=int, default=None,
                         help="restrict sweeps to the first N benchmarks")
     args = parser.parse_args(argv)

@@ -37,9 +37,9 @@ class _Lowerer:
         self.fn = IRFunction(name=kernel.name)
         self._cache: Dict[exprs.Expr, Value] = {}
 
-    def lower(self) -> IRFunction:
+    def lower(self, include_shared: bool = False) -> IRFunction:
         for access in self.kernel.accesses:
-            if access.space == "shared":
+            if access.space == "shared" and not include_shared:
                 continue  # on-chip shared memory is outside GPUShield scope
             offset = self._value(access.offset_expr)
             gep = self.fn.emit(
@@ -95,6 +95,12 @@ class _Lowerer:
         raise CompileError(f"cannot lower expression {expr!r}")
 
 
-def lower_kernel(kernel: Kernel) -> IRFunction:
-    """Lower all checked memory accesses of ``kernel`` to IR."""
-    return _Lowerer(kernel).lower()
+def lower_kernel(kernel: Kernel, include_shared: bool = False) -> IRFunction:
+    """Lower all checked memory accesses of ``kernel`` to IR.
+
+    ``include_shared`` additionally lowers shared-memory accesses (their
+    geps carry ``pointer_param None``) — the bounds pass never wants
+    them (shared memory is outside GPUShield scope), but the may-race
+    pass does.
+    """
+    return _Lowerer(kernel).lower(include_shared=include_shared)

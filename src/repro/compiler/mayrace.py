@@ -1,0 +1,643 @@
+"""Static may-race pass: affine index disjointness over the mini IR.
+
+The pass reuses the bounds machinery — :func:`lower_kernel` lowers every
+access's operand tree (including shared-memory accesses, which the
+bounds pass skips) and :class:`~repro.compiler.dataflow._TreeAnalyzer`
+supplies interval values — and adds one extra piece of structure per IR
+value: its **affine decomposition** in the thread index,
+``value = coef * t + c`` with ``c`` ranging over an interval.  Two
+conflicting accesses (same buffer, at least one store) are then proved
+disjoint across threads whenever the affine forms cannot collide:
+
+* their whole address ranges are disjoint;
+* both stride by the same nonzero ``coef`` and the stride clears the
+  base wobble plus the access widths (different threads land in
+  different slots);
+* one side is pinned to a single thread ``k`` and the integer window of
+  threads whose accesses could overlap it solves to ``{} `` or ``{k}``.
+
+Happens-before is modelled exactly as the dynamic detector observes it:
+same-thread pairs are ordered by program order, same-workgroup pairs in
+different barrier epochs are ordered by the barrier (epochs are counted
+only in loop-free kernels with top-level ``bar``s), and nothing else is
+ordered.  Executing thread sets come from :attr:`AccessInfo.guards` —
+the builder's recovered ``if_``/predication comparisons — evaluated
+with the same affine machinery.
+
+Verdict lattice: ``race-free`` < ``may-race`` < ``races``.
+
+* ``race-free`` is a *soundness claim*: no execution of this launch
+  shape produces an intra-kernel race.  Besides every pair being
+  provably ordered or disjoint, it requires every off-chip access to be
+  provably in bounds (by its affine-derived byte range, which subsumes
+  the plain intervals of ``static_bounds``) when the kernel stores
+  off-chip at all — an out-of-bounds access may land inside *another*
+  parameter's buffer, where per-parameter disjointness proves nothing.
+  Shared-memory offsets must likewise provably not wrap the scratchpad.
+* ``races`` is a *definiteness claim*, kept deliberately narrow: a
+  loop-free kernel with exactly-known conflicting addresses and
+  exactly-known thread sets that must collide (with a concrete witness
+  pair).  Everything in between is ``may-race``.
+
+The cross-check contract with the dynamic detector: ``race-free`` must
+never be claimed for a kernel the detector flags, and ``races`` must
+never be claimed for a kernel the detector clears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.dataflow import (
+    _TreeAnalyzer, Interval, LaunchBounds, _iv_add, _iv_mul, _iv_sub,
+)
+from repro.compiler.ir import IRConst
+from repro.compiler.lowering import _Lowerer
+from repro.isa import exprs
+from repro.isa.instructions import DTYPE_SIZE
+from repro.isa.program import AccessInfo, Kernel
+
+RACE_FREE = "race-free"
+MAY_RACE = "may-race"
+RACES = "races"
+
+_VERDICT_RANK = {RACE_FREE: 0, MAY_RACE: 1, RACES: 2}
+
+
+def worst_verdict(*verdicts: str) -> str:
+    """Join on the race lattice (``race-free`` < ``may-race`` < ``races``)."""
+    return max(verdicts, key=_VERDICT_RANK.__getitem__, default=RACE_FREE)
+
+
+# -- affine decomposition ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Affine:
+    """``value = coef * t + c`` with ``c`` in ``base`` (both per-thread).
+
+    ``coef is None`` means not affine in the thread variable; ``base``
+    then holds the plain interval of the whole value (or ``None``).
+    """
+
+    coef: Optional[int]
+    base: Interval
+
+    @property
+    def exact_base(self) -> bool:
+        return self.base is not None and self.base[0] == self.base[1]
+
+    @property
+    def uniform(self) -> bool:
+        return self.coef == 0
+
+
+class _AffineAnalyzer:
+    """Affine-in-thread-index decomposition of IR values.
+
+    ``wg_local=False`` (global pairs): the thread variable is ``gtid``;
+    ``tid``/``lane``/``ctaid`` are thread-varying but not gtid-affine
+    (they wrap per workgroup/warp), so they decompose as opaque.
+
+    ``wg_local=True`` (shared-memory pairs, which are same-workgroup by
+    construction): the thread variable is ``tid``, ``ctaid`` is uniform
+    within the pair, and ``gtid = ctaid*ntid + tid`` is affine with
+    coefficient 1.
+    """
+
+    def __init__(self, bounds: LaunchBounds, wg_local: bool = False):
+        self.bounds = bounds
+        self.wg_local = wg_local
+        self._iv = _TreeAnalyzer(bounds)
+        self._memo: Dict[int, _Affine] = {}
+
+    def interval(self, value) -> Interval:
+        return self._iv.interval(value)
+
+    def affine(self, value) -> _Affine:
+        if isinstance(value, IRConst):
+            return _Affine(0, (value.value, value.value))
+        key = id(value)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = _Affine(None, None)   # cycle guard
+        result = self._decompose(value)
+        self._memo[key] = result
+        return result
+
+    def _opaque(self, value) -> _Affine:
+        return _Affine(None, self._iv.interval(value))
+
+    def _decompose(self, instr) -> _Affine:
+        op = instr.opcode
+        if op == "call":
+            callee = instr.callee or ""
+            if callee == "induction":
+                # Uniform counted loop: same value for every thread
+                # (it *varies per iteration*, which the interval spans).
+                return _Affine(0, self._iv.interval(instr))
+            if callee.startswith("get_"):
+                name = callee[4:]
+                if self.wg_local:
+                    if name == "tid":
+                        return _Affine(1, (0, 0))
+                    if name == "gtid":
+                        # ctaid*ntid + tid: the wg term is uniform
+                        # within a same-workgroup pair.
+                        wgs = self.bounds.workgroups
+                        ws = self.bounds.workgroup_size
+                        return _Affine(1, (0, (wgs - 1) * ws))
+                    if name == "ctaid":
+                        return _Affine(0, (0, self.bounds.workgroups - 1))
+                else:
+                    if name == "gtid":
+                        return _Affine(1, (0, 0))
+                if name in ("ntid", "nctaid"):
+                    return _Affine(0, self.bounds.special_interval(name))
+                return self._opaque(instr)
+            return self._opaque(instr)
+        if op == "load_arg":
+            # Scalar arguments are launch-uniform.
+            return _Affine(0, self.bounds.arg_interval(instr.callee or ""))
+        if op == "getelementptr":
+            return self.affine(instr.operands[0])
+        if op in ("add", "sub"):
+            a = self.affine(instr.operands[0])
+            b = self.affine(instr.operands[1])
+            if a.coef is None or b.coef is None:
+                return self._opaque(instr)
+            coef = a.coef + b.coef if op == "add" else a.coef - b.coef
+            if a.base is None or b.base is None:
+                base = None
+            else:
+                base = (_iv_add if op == "add" else _iv_sub)(a.base, b.base)
+            return _Affine(coef, base)
+        if op in ("mul", "shl"):
+            a = self.affine(instr.operands[0])
+            b = self.affine(instr.operands[1])
+            if op == "shl":
+                if (b.uniform and b.base is not None
+                        and b.base[0] == b.base[1] and b.base[0] >= 0):
+                    b = _Affine(0, (1 << b.base[0], 1 << b.base[0]))
+                else:
+                    return self._opaque(instr)
+            # Exact zero annihilates even an opaque co-factor — this is
+            # what sees through the deliberate ``j * 0`` opacity of the
+            # fuzz probe.
+            for side in (a, b):
+                if side.uniform and side.base == (0, 0):
+                    return _Affine(0, (0, 0))
+            for factor, other in ((a, b), (b, a)):
+                if factor.uniform and factor.exact_base:
+                    k = factor.base[0]
+                    if other.coef is None:
+                        return self._opaque(instr)
+                    base = (None if other.base is None
+                            else _iv_mul(other.base, (k, k)))
+                    return _Affine(other.coef * k, base)
+            if a.uniform and b.uniform:
+                base = (None if a.base is None or b.base is None
+                        else _iv_mul(a.base, b.base))
+                return _Affine(0, base)
+            return self._opaque(instr)
+        if op in ("sdiv", "srem", "lshr", "smin", "smax", "and"):
+            a = self.affine(instr.operands[0])
+            b = self.affine(instr.operands[1])
+            if a.uniform and b.uniform:
+                return _Affine(0, self._iv.interval(instr))
+            return self._opaque(instr)
+        return self._opaque(instr)
+
+
+# -- executing thread sets ---------------------------------------------------
+
+
+@dataclass
+class _ThreadSet:
+    """Superset of the threads executing an access, as a range.
+
+    ``exact`` means the superset *is* the executing set (every guard was
+    an exactly-evaluated comparison); only exact sets back ``races``
+    claims.  ``repeats`` marks loop/while nesting (multiple executions
+    per thread — ordered among themselves, but never exact).
+    """
+
+    lo: int
+    hi: int
+    singleton: Optional[int] = None
+    exact: bool = True
+    repeats: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return self.lo > self.hi
+
+    def size(self) -> int:
+        return 0 if self.empty else self.hi - self.lo + 1
+
+    def pin(self, k: int) -> None:
+        self.lo = max(self.lo, k)
+        self.hi = min(self.hi, k)
+        if not self.empty:
+            self.singleton = k
+
+
+_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt",
+           "eq": "ne", "ne": "eq"}
+
+
+def _compare_exact(op: str, a: int, b: int) -> bool:
+    return {"lt": a < b, "le": a <= b, "gt": a > b, "ge": a >= b,
+            "eq": a == b, "ne": a != b}[op]
+
+
+class _GuardEvaluator:
+    """Turns AccessInfo.guards into a :class:`_ThreadSet`."""
+
+    def __init__(self, lowerer: _Lowerer, analyzer: _AffineAnalyzer,
+                 thread_range: Tuple[int, int]):
+        self.lowerer = lowerer
+        self.analyzer = analyzer
+        self.thread_range = thread_range
+
+    def _affine_of_expr(self, expr: exprs.Expr) -> _Affine:
+        if isinstance(expr, exprs.Const):
+            return _Affine(0, (expr.value, expr.value))
+        return self.analyzer.affine(self.lowerer._value(expr))
+
+    def threads(self, access: AccessInfo) -> _ThreadSet:
+        ts = _ThreadSet(lo=self.thread_range[0], hi=self.thread_range[1])
+        for guard in access.guards:
+            tag = guard[0]
+            if tag in ("loop", "while"):
+                # The body may run zero times and per-thread repetition
+                # defeats exactness; same-thread repeats stay ordered.
+                ts.repeats = True
+                ts.exact = False
+                continue
+            if tag not in ("cmp", "notcmp"):
+                ts.exact = False       # opaque: superset unchanged
+                continue
+            op = guard[1] if tag == "cmp" else _NEGATE[guard[1]]
+            self._apply_cmp(ts, op, self._affine_of_expr(guard[2]),
+                            self._affine_of_expr(guard[3]))
+        if ts.singleton is not None and ts.empty:
+            ts.singleton = None
+        return ts
+
+    def _apply_cmp(self, ts: _ThreadSet, op: str,
+                   a: _Affine, b: _Affine) -> None:
+        # Normalise to "t OP uniform".
+        if a.coef == 1 and b.uniform:
+            pass
+        elif b.coef == 1 and a.uniform:
+            a, b = b, a
+            op = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}.get(op, op)
+        elif a.uniform and b.uniform:
+            if a.exact_base and b.exact_base:
+                if not _compare_exact(op, a.base[0], b.base[0]):
+                    ts.hi = ts.lo - 1       # never executes
+                return
+            ts.exact = False
+            return
+        else:
+            ts.exact = False
+            return
+        if b.base is None:
+            ts.exact = False
+            return
+        u_lo, u_hi = b.base
+        u_exact = u_lo == u_hi
+        if op == "lt":
+            ts.hi = min(ts.hi, u_hi - 1)
+            ts.exact = ts.exact and u_exact
+        elif op == "le":
+            ts.hi = min(ts.hi, u_hi)
+            ts.exact = ts.exact and u_exact
+        elif op == "gt":
+            ts.lo = max(ts.lo, u_lo + 1)
+            ts.exact = ts.exact and u_exact
+        elif op == "ge":
+            ts.lo = max(ts.lo, u_lo)
+            ts.exact = ts.exact and u_exact
+        elif op == "eq":
+            if u_exact:
+                ts.pin(u_lo)
+            else:
+                ts.lo = max(ts.lo, u_lo)
+                ts.hi = min(ts.hi, u_hi)
+                ts.exact = False
+        elif op == "ne":
+            # Removes at most one thread; the range superset stays.
+            ts.exact = False
+
+
+# -- pair analysis -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RacePair:
+    """One potentially-conflicting access pair and its classification."""
+
+    a_id: int
+    b_id: int
+    param: Optional[str]
+    space: str
+    verdict: str          # "ordered" | MAY_RACE | RACES
+    rule: str
+    witness: Optional[Tuple[int, int]] = None   # (thread_a, thread_b)
+
+
+@dataclass
+class MayRaceReport:
+    """The pass's output for one kernel under one launch shape."""
+
+    kernel_name: str
+    verdict: str
+    pairs: List[RacePair] = field(default_factory=list)
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def conflicts(self) -> List[RacePair]:
+        return [p for p in self.pairs if p.verdict != "ordered"]
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel_name,
+            "verdict": self.verdict,
+            "reasons": list(self.reasons),
+            "conflicts": [
+                {"a": p.a_id, "b": p.b_id, "param": p.param,
+                 "space": p.space, "verdict": p.verdict, "rule": p.rule,
+                 "witness": p.witness}
+                for p in self.conflicts],
+        }
+
+
+@dataclass
+class _Acc:
+    info: AccessInfo
+    width: int
+    affine: _Affine
+    threads: _ThreadSet
+    epoch: int
+    wraps: bool           # shared offset may wrap the scratchpad
+
+
+def _addr_range(acc: _Acc) -> Interval:
+    """Bytes the access may touch, over its thread superset (first-byte
+    interval; add width-1 for the closing byte)."""
+    aff = acc.affine
+    if aff.coef is None:
+        return aff.base
+    if aff.base is None:
+        return None
+    t_span = (acc.threads.lo, acc.threads.hi)
+    if acc.threads.empty:
+        return None
+    return _iv_add(_iv_mul((aff.coef, aff.coef), t_span), aff.base)
+
+
+def _epochs_of(kernel: Kernel) -> Tuple[Dict[int, int], bool]:
+    """access_id -> barrier epoch, and whether epochs are trustworthy.
+
+    Epochs count ``bar`` instructions textually preceding the access.
+    They are an ordering argument only when the kernel is loop-free and
+    every ``bar`` sits at top level (a conditional or repeated barrier
+    does not split the kernel into phases).
+    """
+    epochs: Dict[int, int] = {}
+    bars = 0
+    depth = 0
+    valid = True
+    for instr in kernel.instructions:
+        op = instr.op
+        if op in ("if", "loop", "while"):
+            depth += 1
+            if op in ("loop", "while"):
+                valid = False
+        elif op in ("endif", "endloop", "endwhile"):
+            depth -= 1
+        elif op == "bar":
+            if depth > 0:
+                valid = False
+            bars += 1
+        elif instr.access_id is not None:
+            epochs[instr.access_id] = bars
+    return epochs, valid
+
+
+class MayRaceAnalyzer:
+    """Classifies one kernel's intra-launch race behaviour."""
+
+    def __init__(self, kernel: Kernel, bounds: LaunchBounds,
+                 buffer_sizes: Optional[Dict[str, int]] = None):
+        self.kernel = kernel
+        self.bounds = bounds
+        self.buffer_sizes = dict(buffer_sizes or {})
+
+    # -- access preparation ---------------------------------------------
+
+    def _prepare(self, wg_local: bool,
+                 accesses: List[AccessInfo]) -> List[_Acc]:
+        lowerer = _Lowerer(self.kernel)
+        fn = lowerer.lower(include_shared=True)
+        analyzer = _AffineAnalyzer(self.bounds, wg_local=wg_local)
+        thread_range = ((0, self.bounds.workgroup_size - 1) if wg_local
+                        else (0, self.bounds.total_threads - 1))
+        guards = _GuardEvaluator(lowerer, analyzer, thread_range)
+        geps = {gep.access_id: gep for gep in fn.geps()}
+        epochs, self._epochs_valid = _epochs_of(self.kernel)
+        pad = max(4, self.kernel.shared_bytes)
+        out: List[_Acc] = []
+        for info in accesses:
+            gep = geps.get(info.access_id)
+            aff = (analyzer.affine(gep) if gep is not None
+                   else _Affine(None, None))
+            acc = _Acc(info=info, width=DTYPE_SIZE[info.dtype],
+                       affine=aff, threads=guards.threads(info),
+                       epoch=epochs.get(info.access_id, 0), wraps=False)
+            if info.space == "shared":
+                rng = _addr_range(acc)
+                acc.wraps = (rng is None or rng[0] < 0
+                             or rng[1] + acc.width > pad)
+            out.append(acc)
+        return out
+
+    # -- pair rules -----------------------------------------------------
+
+    def _pair(self, a: _Acc, b: _Acc, same_wg: bool) -> Tuple[str, str,
+                                                              Optional[tuple]]:
+        """Classify one conflicting pair (same buffer, >=1 store)."""
+        if a.threads.empty or b.threads.empty:
+            return "ordered", "dead", None
+        if (a.threads.singleton is not None
+                and a.threads.singleton == b.threads.singleton):
+            return "ordered", "same-thread", None
+        if (self._epochs_valid and a.epoch != b.epoch
+                and (same_wg or self.bounds.workgroups == 1)):
+            return "ordered", "barrier", None
+        if a.wraps or b.wraps:
+            return MAY_RACE, "shared-wrap", None
+
+        self_pair = a.info.access_id == b.info.access_id
+        ra, rb = _addr_range(a), _addr_range(b)
+        if (not self_pair and ra is not None and rb is not None
+                and (ra[1] + a.width - 1 < rb[0]
+                     or rb[1] + b.width - 1 < ra[0])):
+            return "ordered", "disjoint-ranges", None
+
+        ca, cb = a.affine.coef, b.affine.coef
+        if (ca is not None and ca == cb and ca != 0
+                and a.affine.base is not None and b.affine.base is not None):
+            d = _iv_sub(a.affine.base, b.affine.base)
+            wobble = max(abs(d[0]), abs(d[1]))
+            if abs(ca) >= wobble + max(a.width, b.width):
+                # Equal stride clears the base wobble + widths: distinct
+                # threads land in disjoint byte windows.
+                return "ordered", "stride-disjoint", None
+
+        for one, other in ((a, b), (b, a)):
+            if self_pair:
+                break
+            k = one.threads.singleton
+            if (k is None or one.affine.coef is None
+                    or one.affine.base is None):
+                continue
+            if (other.affine.coef is None or other.affine.coef == 0
+                    or not other.affine.exact_base):
+                continue
+            pin_lo = one.affine.coef * k + one.affine.base[0]
+            pin_hi = one.affine.coef * k + one.affine.base[1]
+            c = other.affine.base[0]
+            stride = other.affine.coef
+            # Threads t with stride*t + c + [0, w) overlapping
+            # [pin_lo, pin_hi + w_one).
+            top = pin_hi + one.width - 1 - c
+            bot = pin_lo - other.width + 1 - c
+            if stride > 0:
+                t_min = -(-bot // stride)      # ceil
+                t_max = top // stride          # floor
+            else:
+                t_min = -(-top // stride)
+                t_max = bot // stride
+            t_min = max(t_min, other.threads.lo)
+            t_max = min(t_max, other.threads.hi)
+            if t_min > t_max:
+                return "ordered", "no-overlapping-thread", None
+            if t_min == t_max == k:
+                return "ordered", "solo-thread", None
+
+        witness = self._witness(a, b)
+        if witness is not None:
+            return RACES, "witness", witness
+        return MAY_RACE, "unproven", None
+
+    def _witness(self, a: _Acc, b: _Acc) -> Optional[Tuple[int, int]]:
+        """A definite colliding thread pair, or None.
+
+        Deliberately narrow: loop-free kernel, exact thread sets, both
+        addresses uniform and exact, overlapping windows — the
+        all-threads-hit-one-slot shape.  (Epoch equality is already
+        guaranteed: differing epochs were pruned above when they order
+        the pair, and a definite claim is only safe when they do.)
+        """
+        if not self._epochs_valid and a.epoch != b.epoch:
+            return None
+        if a.epoch != b.epoch:
+            return None
+        if not (a.threads.exact and b.threads.exact):
+            return None
+        for acc in (a, b):
+            if not (acc.affine.uniform and acc.affine.exact_base):
+                return None
+        pa, pb = a.affine.base[0], b.affine.base[0]
+        if pa + a.width - 1 < pb or pb + b.width - 1 < pa:
+            return None
+        for ta in (a.threads.lo, a.threads.hi):
+            for tb in (b.threads.lo, b.threads.hi):
+                if ta != tb:
+                    return (ta, tb)
+        return None
+
+    # -- the full pass --------------------------------------------------
+
+    def analyze(self) -> MayRaceReport:
+        report = MayRaceReport(kernel_name=self.kernel.name,
+                               verdict=RACE_FREE)
+        stores = [a for a in self.kernel.accesses if a.is_store]
+        if not stores:
+            report.reasons.append("no stores: reads never race")
+            return report
+
+        shared_infos = [a for a in self.kernel.accesses
+                        if a.space == "shared"]
+        other_infos = [a for a in self.kernel.accesses
+                       if a.space != "shared"]
+        groups: List[Tuple[List[_Acc], bool]] = []
+        if shared_infos:
+            groups.append((self._prepare(True, shared_infos), True))
+        global_accs: List[_Acc] = []
+        if other_infos:
+            global_accs = self._prepare(False, other_infos)
+            groups.append((global_accs, False))
+
+        verdict = RACE_FREE
+        for accs, same_wg in groups:
+            buckets: Dict[object, List[_Acc]] = {}
+            for acc in accs:
+                key = ("shared" if same_wg
+                       else (acc.info.param or "__heapptr"))
+                buckets.setdefault(key, []).append(acc)
+            for key, bucket in buckets.items():
+                for i, a in enumerate(bucket):
+                    for b in bucket[i:]:
+                        if not (a.info.is_store or b.info.is_store):
+                            continue
+                        pv, rule, witness = self._pair(a, b, same_wg)
+                        report.pairs.append(RacePair(
+                            a_id=a.info.access_id, b_id=b.info.access_id,
+                            param=a.info.param, space=a.info.space,
+                            verdict=("ordered" if pv == "ordered" else pv),
+                            rule=rule, witness=witness))
+                        if pv != "ordered":
+                            verdict = worst_verdict(verdict, pv)
+
+        if verdict == RACE_FREE:
+            verdict = self._bounds_gate(report, global_accs)
+        report.verdict = verdict
+        return report
+
+    def _bounds_gate(self, report: MayRaceReport,
+                     accs: List[_Acc]) -> str:
+        """Pairwise disjointness is per buffer; it only adds up to
+        ``race-free`` when no off-chip access can escape its buffer (an
+        OOB access may land in another parameter's allocation).  Ranges
+        come from the affine decomposition, which subsumes the plain
+        ``static_bounds`` intervals (e.g. it sees through ``j * 0``)."""
+        if not any(a.info.is_store for a in accs):
+            return RACE_FREE        # shared stores cannot reach off-chip
+        bad = []
+        for acc in accs:
+            if acc.threads.empty:
+                continue            # provably never executes
+            rng = _addr_range(acc)
+            param = acc.info.param
+            size = self.buffer_sizes.get(param) if param else None
+            if (rng is None or size is None or rng[0] < 0
+                    or rng[1] + acc.width - 1 >= size):
+                bad.append(acc.info.access_id)
+        if bad:
+            report.reasons.append(
+                f"accesses {bad} not provably in bounds: cross-buffer "
+                f"overlap cannot be excluded")
+            return MAY_RACE
+        return RACE_FREE
+
+
+def analyze_kernel_races(kernel: Kernel, bounds: LaunchBounds,
+                         buffer_sizes: Optional[Dict[str, int]] = None
+                         ) -> MayRaceReport:
+    """Classify ``kernel`` under one launch shape (module-level API)."""
+    return MayRaceAnalyzer(kernel, bounds, buffer_sizes).analyze()

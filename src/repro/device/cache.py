@@ -165,6 +165,10 @@ def release_device(device: Optional[GpuDevice]) -> None:
     # the device — or a reset regression — would attribute them to the
     # *next* tenant.  Scrubbed at release, not just at acquire-reset.
     device.shield.log.records.clear()
+    # And for race-detector shadow state: race records name both racing
+    # threads' access sites, so a detector riding into the pool would
+    # leak one tenant's access pattern to the next acquirer.
+    device.gpu.detach_race_detector()
     key = device._cache_key
     if key is None or not _warm:
         _stats["discards"] += 1

@@ -110,6 +110,26 @@ class CaseSpec:
             return "__local_v1"
         return f"b{self.victim}"
 
+    @property
+    def race_verdict(self) -> str:
+        """The intra-kernel race verdict this case has *by construction*.
+
+        Only safe cases promise race-freedom, and only because the
+        generator reserves the probe slot: the benign phase writes
+        ``b0[gtid]`` for every live thread, so a thread-0 probe of
+        ``b0[probe]`` is concurrency-free exactly when the probe hits
+        thread 0's own slot or a slot past every live thread.  Attack
+        kinds touch foreign regions on purpose and make no promise.
+        The shadow-memory detector verifies this claim dynamically
+        (``repro.racedetect.scan.scan_case``).
+        """
+        if self.kind != "safe":
+            return "may-race"
+        limit = min(self.elems, self.total_threads)
+        if self.benign_rounds == 0 or self.probe == 0 or self.probe >= limit:
+            return "race-free"
+        return "may-race"
+
     # -- invariants --------------------------------------------------------
 
     def validate(self) -> None:

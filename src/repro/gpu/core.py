@@ -226,6 +226,12 @@ class ShaderCore:
                         if (other.launch_key, other.wg) == key:
                             other.at_barrier = False
                             other.ready_at = cycle + 1
+                    detector = self.pipeline.race_detector
+                    if detector is not None:
+                        # Barrier release is the happens-before edge:
+                        # everything this workgroup did before is now
+                        # ordered before everything after.
+                        detector.on_barrier(key)
                 else:
                     barrier_count[key] = arrived
                     warp.at_barrier = True

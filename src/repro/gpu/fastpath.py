@@ -441,11 +441,13 @@ class FastMemoryPipeline(MemoryPipeline):
     def access(self, warp: WarpState, job, request: MemRequest,
                cycle: int) -> AccessResult:
         tracer = self.tracer
-        if tracer is not None and tracer.stage_level:
-            # Stage-level tracing wants per-stage events; take the
-            # reference pipeline, which runs against this object's fast
+        if ((tracer is not None and tracer.stage_level)
+                or self.race_detector is not None):
+            # Stage-level tracing wants per-stage events and the race
+            # detector wants the commit hook; take the reference
+            # pipeline, which runs against this object's fast
             # structures (bit-identical by the engine contract) and
-            # carries the stage hooks.  Untraced runs never reach here.
+            # carries both hooks.  Untraced runs never reach here.
             return MemoryPipeline.access(self, warp, job, request, cycle)
         if request.space == "shared":
             return self._access_shared_fast(warp, job, request, cycle)

@@ -84,6 +84,7 @@ class GPU:
                             if self.shield.enabled else None))
             for i in range(config.num_cores)
         ]
+        self._race_detector = None
         self.stats = self._build_stats_registry()
 
     def _build_stats_registry(self):
@@ -112,6 +113,13 @@ class GPU:
             registry.register(
                 "shield.log",
                 lambda: {"violations": len(self.shield.log)})
+        # Detached, the callable yields an empty mapping, which
+        # contributes zero snapshot keys — stats digests recorded
+        # without a detector stay bit-identical.
+        registry.register(
+            "racedetect",
+            lambda: (self._race_detector.stats()
+                     if self._race_detector is not None else {}))
         return registry
 
     def attach_tracer(self, tracer) -> None:
@@ -124,6 +132,19 @@ class GPU:
         """Drop any attached tracer (harness hygiene: a device returned
         to the warm pool must never keep feeding a caller's trace)."""
         self.attach_tracer(None)
+
+    def attach_race_detector(self, detector) -> None:
+        """Shadow every committed access into a
+        :class:`~repro.racedetect.detector.RaceDetector`."""
+        self._race_detector = detector
+        for core in self.cores:
+            core.pipeline.race_detector = detector
+
+    def detach_race_detector(self) -> None:
+        """Drop any attached race detector (same pool-hygiene contract
+        as :meth:`detach_tracer`: shadow state and race records must
+        never survive into another tenant's acquisition)."""
+        self.attach_race_detector(None)
 
     def reset(self) -> None:
         """Scrub every micro-architectural structure back to cold state.
@@ -146,6 +167,8 @@ class GPU:
             else:
                 core.pipeline.checker = None
             core.tracer = None
+            core.pipeline.race_detector = None
+        self._race_detector = None
         self.stats.reset()
 
     # -- dispatch ------------------------------------------------------------------
@@ -193,6 +216,11 @@ class GPU:
         result = self._collect(per_core, aborted, error, before)
         result.divergent_branches = sum(j.executor.divergent_branches
                                         for j in jobs)
+        if self._race_detector is not None:
+            # Kernel boundaries are happens-before edges: a retired
+            # launch's shadow can be dropped — nothing races with it.
+            for launch in launches:
+                self._race_detector.on_kernel_finish(launch.kernel_id)
         # Kernel termination flushes the RCaches (§5.5).  Partitioned
         # RCaches (§6.2) flush per terminating kernel so banks belonging
         # to kernels outside this dispatch survive.

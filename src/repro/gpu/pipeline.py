@@ -119,6 +119,7 @@ class MemoryPipeline:
         self.dram = dram
         self.checker = checker
         self.tracer = None   # optional MemoryTracer (analysis.trace)
+        self.race_detector = None   # optional RaceDetector (racedetect)
         # (launch_key, wg) -> shared-memory scratchpad
         self._shared: Dict[Tuple[int, int], bytearray] = {}
 
@@ -302,12 +303,20 @@ class MemoryPipeline:
             return result
 
         self.commit(warp, job, request, ca)
+        # Race shadowing sees only committed accesses: a blocked access
+        # has no architectural effect, so it cannot race.
+        detector = self.race_detector
+        if detector is not None:
+            detector.on_access(self, warp, job, request, cycle)
         self._trace(warp, request, cycle, result)
         return result
 
     def _access_shared(self, warp: WarpState, job, request: MemRequest,
                        cycle: int) -> AccessResult:
         self.do_shared(warp, job, request)
+        detector = self.race_detector
+        if detector is not None:
+            detector.on_access(self, warp, job, request, cycle)
         offs = [a for a in request.lane_addrs if a is not None]
         result = AccessResult(space="shared", is_store=request.is_store,
                               latency=self.config.lsu_pipeline_depth,

@@ -59,6 +59,14 @@ class KernelBuilder:
         self._ctrl_depth = 0
         self._special_cache: Dict[str, Reg] = {}
         self._built = False
+        # Predicate provenance: pred-register index -> ("cmp", op, lhs
+        # expr, rhs expr), consumed by the may-race pass to recover the
+        # thread set an if_/pred guard admits.  An overwritten register
+        # loses its entry (see _write_expr).
+        self._setp_info: Dict[int, tuple] = {}
+        # Active control-flow guards, innermost last; every recorded
+        # access snapshots this stack (AccessInfo.guards).
+        self._guard_stack: List[tuple] = []
 
     # -- registers & operands --------------------------------------------------
 
@@ -174,6 +182,7 @@ class KernelBuilder:
         self._instrs.append(instr)
 
     def _write_expr(self, reg: Reg, expr: exprs.Expr) -> None:
+        self._setp_info.pop(reg.index, None)
         created_at = self._reg_depth.get(reg.index, 0)
         if self._ctrl_depth > created_at:
             # Conditional / loop-carried definition: statically opaque.
@@ -297,10 +306,17 @@ class KernelBuilder:
         if out is not None:
             self._write_expr(dst, exprs.Unknown("pred"))
         self._emit(Instr("setp", dst=dst, srcs=srcs, cmp=cmp))
+        self._setp_info[dst.index] = ("cmp", cmp, self._expr_of(a),
+                                      self._expr_of(b))
         return dst
 
     def not_(self, p: Reg, out: Optional[Reg] = None) -> Reg:
-        return self._alu("not", p, out=out)
+        dst = self._alu("not", p, out=out)
+        info = self._setp_info.get(p.index) if isinstance(p, Reg) else None
+        if info is not None and info[0] in ("cmp", "notcmp"):
+            flipped = "notcmp" if info[0] == "cmp" else "cmp"
+            self._setp_info[dst.index] = (flipped,) + info[1:]
+        return dst
 
     def sel(self, pred: Reg, a: Operand, b: Operand,
             out: Optional[Reg] = None) -> Reg:
@@ -321,6 +337,10 @@ class KernelBuilder:
                        offset: Operand, dtype: str,
                        pred: Optional[Reg]) -> int:
         access_id = len(self._accesses)
+        guards = list(self._guard_stack)
+        if pred is not None:
+            info = self._setp_info.get(pred.index)
+            guards.append(info if info is not None else ("opaque",))
         self._accesses.append(AccessInfo(
             access_id=access_id,
             param=param,
@@ -329,6 +349,7 @@ class KernelBuilder:
             offset_expr=self._expr_of(offset),
             dtype=dtype,
             predicated=pred is not None,
+            guards=tuple(guards),
         ))
         return access_id
 
@@ -434,15 +455,25 @@ class KernelBuilder:
         """Structured divergence: lanes failing ``pred`` are masked off."""
         self._emit(Instr("if", srcs=(pred,)))
         self._ctrl_depth += 1
+        info = self._setp_info.get(pred.index)
+        self._guard_stack.append(info if info is not None else ("opaque",))
         try:
             yield
         finally:
+            self._guard_stack.pop()
             self._ctrl_depth -= 1
             self._emit(Instr("endif"))
 
     def else_mark(self) -> None:
         """Flip to the complementary mask inside an ``if_`` block."""
         self._emit(Instr("else"))
+        if self._guard_stack:
+            top = self._guard_stack[-1]
+            if top[0] in ("cmp", "notcmp"):
+                flipped = "notcmp" if top[0] == "cmp" else "cmp"
+                self._guard_stack[-1] = (flipped,) + top[1:]
+            else:
+                self._guard_stack[-1] = ("opaque",)
 
     @contextmanager
     def loop(self, count: Operand):
@@ -452,9 +483,11 @@ class KernelBuilder:
         self._emit(Instr("loop", dst=induction,
                          srcs=(self._operand(count),)))
         self._ctrl_depth += 1
+        self._guard_stack.append(("loop",))
         try:
             yield induction
         finally:
+            self._guard_stack.pop()
             self._ctrl_depth -= 1
             self._emit(Instr("endloop", dst=induction))
 
@@ -464,9 +497,11 @@ class KernelBuilder:
         must refresh ``pred``."""
         self._emit(Instr("while", srcs=(pred,)))
         self._ctrl_depth += 1
+        self._guard_stack.append(("while",))
         try:
             yield
         finally:
+            self._guard_stack.pop()
             self._ctrl_depth -= 1
             self._emit(Instr("endwhile", srcs=(pred,)))
 

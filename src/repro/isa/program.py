@@ -64,6 +64,12 @@ class AccessInfo:
     offset_expr: Expr
     dtype: str
     predicated: bool = False
+    #: Control-flow guards active at the access, outermost first: each
+    #: is ("cmp"/"notcmp", op, lhs expr, rhs expr) for a recovered
+    #: predicate, ("loop",) / ("while",) inside loops, or ("opaque",)
+    #: when the predicate's provenance is unknown.  Consumed by the
+    #: compiler's may-race pass to bound the executing thread set.
+    guards: tuple = ()
 
 
 @dataclass

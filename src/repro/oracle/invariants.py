@@ -144,8 +144,15 @@ def _check_stage_structure(cap: CapturedTrace,
     line = cap.line_size
     pending: Dict[int, List[StageEvent]] = {}
     groups = 0
+    races = 0
     for ev in cap.events:
         if isinstance(ev, StageEvent):
+            if ev.stage == "race":
+                # Race-detector events are emitted at commit, before the
+                # access's own trace event, and are not part of the
+                # coalesce/translate/cache/check pipeline structure.
+                races += 1
+                continue
             pending.setdefault(ev.core, []).append(ev)
             continue
         group = pending.pop(ev.core, [])
@@ -211,3 +218,4 @@ def _check_stage_structure(cap: CapturedTrace,
         fail(f"{leftover} stage events not followed by their access "
              f"event")
     report.checked["stage_groups"] = groups
+    report.checked["race_events"] = races

@@ -1,0 +1,87 @@
+"""Static race verdicts for whole workloads.
+
+Bridges :mod:`repro.workloads.templates` structures to the compiler's
+may-race pass: each :class:`~repro.workloads.templates.KernelRun`
+becomes one :class:`~repro.compiler.dataflow.LaunchBounds` (geometry +
+whatever scalar argument knowledge is layout-free) plus a buffer-size
+map, and the workload verdict is the worst per-run verdict — kernel
+boundaries are happens-before edges, so runs never race with *each
+other*; only intra-launch behaviour matters.
+
+Scalar knowledge deliberately excludes layout-dependent argument forms
+(``delta``, ``heap_off``): their values exist only once an allocator
+has placed the buffers, and a verdict that changed with allocation
+order would be useless as a constructive guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.compiler.dataflow import LaunchBounds
+from repro.compiler.mayrace import (
+    RACE_FREE, MayRaceReport, analyze_kernel_races, worst_verdict,
+)
+from repro.workloads.templates import KernelRun, Workload
+
+
+def launch_bounds_for(run: KernelRun) -> LaunchBounds:
+    """The launch-shape knowledge one run gives the static pass."""
+    scalar_args: Dict[str, int] = {}
+    for pname, (kind, value) in run.args.items():
+        if kind == "scalar" and isinstance(value, int):
+            scalar_args[pname] = value
+    maxima = {p.name: p.max_value for p in run.kernel.scalar_params
+              if p.max_value is not None}
+    return LaunchBounds(workgroups=run.workgroups,
+                        workgroup_size=run.wg_size,
+                        scalar_args=scalar_args,
+                        scalar_maxima=maxima)
+
+
+def buffer_sizes_for(workload: Workload, run: KernelRun) -> Dict[str, int]:
+    """Byte sizes per pointer parameter, including ``__local_*``.
+
+    ``sizeof`` scalar arguments are resolved here too (a buffer's
+    declared size is layout-free), folded in by :func:`launch_bounds_for`
+    callers via the returned map.
+    """
+    sizes = {b.name: b.nbytes for b in workload.buffers}
+    total = run.workgroups * run.wg_size
+    for lv in run.kernel.local_vars:
+        sizes[f"__local_{lv.name}"] = lv.words_per_thread * total * 4
+    return sizes
+
+
+@dataclass
+class WorkloadRaceReport:
+    """Static verdicts for every run of one workload."""
+
+    workload: str
+    verdict: str = RACE_FREE
+    runs: List[MayRaceReport] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"workload": self.workload, "verdict": self.verdict,
+                "runs": [r.to_dict() for r in self.runs]}
+
+
+def static_workload_verdict(workload: Workload) -> WorkloadRaceReport:
+    """Classify every run; the workload verdict is the worst of them."""
+    report = WorkloadRaceReport(workload=workload.name)
+    for run in workload.runs:
+        bounds = launch_bounds_for(run)
+        sizes = buffer_sizes_for(workload, run)
+        # ``sizeof`` scalars are launch-uniform and layout-free: give
+        # the analyzer their exact values.
+        scalar_args = dict(bounds.scalar_args)
+        for pname, (kind, value) in run.args.items():
+            if kind == "sizeof" and value in sizes:
+                scalar_args[pname] = sizes[value]
+        bounds = LaunchBounds(bounds.workgroups, bounds.workgroup_size,
+                              scalar_args, bounds.scalar_maxima)
+        rep = analyze_kernel_races(run.kernel, bounds, sizes)
+        report.runs.append(rep)
+        report.verdict = worst_verdict(report.verdict, rep.verdict)
+    return report

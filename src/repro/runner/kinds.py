@@ -43,6 +43,7 @@ _LAZY: Dict[str, str] = {
     "device.selftest": "repro.device.selftest:device_selftest_job",
     "oracle.diff": "repro.oracle.runner:oracle_diff_job",
     "service.shard": "repro.service.executor:run_service_shard",
+    "race.scan": "repro.racedetect.runner:race_scan_job",
 }
 
 

@@ -414,7 +414,39 @@ class TestWarmPoolTracerHygiene:
         release_device(second)
 
 
-class TestWarmPoolViolationHygiene:
+class TestWarmPoolRaceDetectorHygiene:
+    """``release_device`` must strip any race detector a scan attached:
+    a pooled device with live shadow memory would keep recording (and
+    would blame the previous tenant's sites for) the next owner's
+    accesses — and the stale shadow words themselves are another
+    tenant's access pattern."""
+
+    def test_release_detaches_race_detector(self):
+        from repro.racedetect.detector import RaceDetector
+        device = acquire_device(nvidia_config(num_cores=2), None, seed=3)
+        device.gpu.attach_race_detector(RaceDetector())
+        assert all(core.pipeline.race_detector is not None
+                   for core in device.gpu.cores)
+        release_device(device)
+        assert all(core.pipeline.race_detector is None
+                   for core in device.gpu.cores)
+
+    def test_pooled_device_never_leaks_shadow_state(self):
+        from repro.racedetect.detector import RaceDetector
+        cfg = nvidia_config(num_cores=2)
+        first = acquire_device(cfg, None, seed=3)
+        detector = RaceDetector()
+        first.gpu.attach_race_detector(detector)
+        _run_vecadd(first)
+        assert detector.stats()["accesses"] > 0
+        baseline = detector.stats()
+        release_device(first)
+        second = acquire_device(cfg, None, seed=3)
+        assert second is first          # same pooled object
+        _run_vecadd(second)
+        # The detached detector saw nothing from the new owner.
+        assert detector.stats() == baseline
+        release_device(second)
     """``release_device`` must scrub undrained violation records: the
     driver's ``finish`` drains the *whole* shield log, so records a
     previous owner executed but never collected would be attributed to

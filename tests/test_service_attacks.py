@@ -9,12 +9,13 @@ alone.  A safe/safe control pins zero false positives.
 
 import pytest
 
+from repro.fuzz.generator import CaseGenerator
 from repro.fuzz.spec import ATTACK_KINDS
-from repro.service.attacks import (ATTACKER, VICTIM, _entry, _race_free,
-                                   _request, _victim_request,
-                                   run_attack_matrix)
+from repro.service.attacks import (ATTACKER, VICTIM, _entry, _request,
+                                   _victim_request, run_attack_matrix)
 from repro.service.executor import execute_placement
 from repro.service.scheduler import PAIR_MODE, Placement
+from repro.service.traffic import ServiceRequest, estimate_cycles
 
 SEED = 21
 
@@ -73,9 +74,48 @@ def test_matrix_rollup_passes():
         == list(ATTACK_KINDS)[:3]
 
 
-def test_victim_requests_are_race_free():
+def test_victim_requests_are_race_free_by_construction():
+    """Every direct safe draw is a valid leakage witness — no rejection
+    sampling needed, because the generator reserves the probe slot."""
     for index in range(6):
         victim = _victim_request(index, SEED + 1000)
-        assert _race_free(victim.case)
+        assert victim.case.race_verdict == "race-free"
         assert victim.case.kind == "safe"
         assert victim.tenant_id == VICTIM
+
+
+def test_self_racing_safe_case_would_break_the_leakage_check():
+    """Regression for the old rejection-sampling workaround: a safe case
+    whose probe hits a *foreign* live slot races with itself, and its
+    digests legitimately drift between solo and co-resident execution —
+    exactly why such cases must never be victims.  The generator's probe
+    remap (plus the detector cross-check) now rules them out, but the
+    schedule sensitivity itself must stay reproducible or this guard is
+    vestigial."""
+    index = 1   # drawn shape: 3 workgroups, so the racing threads can
+    #             land on different cores and feel co-residency.
+    base = CaseGenerator(SEED + 1000).draw_kind("safe", index)
+    assert base.workgroups >= 2
+    assert min(base.elems, base.total_threads) > base.wg_size
+    racy = base.with_(benign_rounds=max(1, base.benign_rounds),
+                      probe=base.wg_size + 1, attack_is_store=True)
+    assert racy.race_verdict == "may-race"
+
+    from repro.racedetect.scan import scan_case
+    scanned = scan_case(racy)
+    assert scanned.scan.dynamic_verdict == "races"
+
+    victim = ServiceRequest(
+        request_id=f"{VICTIM}-r{index:04d}", tenant_id=VICTIM,
+        index=index, arrival_cycle=0, case=racy,
+        est_cycles=estimate_cycles(racy))
+    attacker = _request(ATTACKER, "safe", index, SEED)
+    solo = execute_placement(
+        Placement(index=index, device=0, start_cycle=0, mode="single",
+                  requests=(victim,)), seed=SEED)
+    paired = execute_placement(
+        Placement(index=index, device=0, start_cycle=0, mode=PAIR_MODE,
+                  requests=(attacker, victim)), seed=SEED)
+    assert (_entry(solo, victim.request_id)["digests"]
+            != _entry(paired, victim.request_id)["digests"]), \
+        "racy safe case no longer schedule-sensitive; regression moot"
