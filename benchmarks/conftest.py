@@ -89,8 +89,16 @@ def publish(_timing):
         if _timing.wall_seconds is not None:
             record_metrics.setdefault(
                 "wall_seconds", round(_timing.wall_seconds, 3))
-        write_result_record(str(RESULTS_DIR), name, text, data=data,
-                            config=record_config, metrics=record_metrics)
+        try:
+            write_result_record(str(RESULTS_DIR), name, text, data=data,
+                                config=record_config,
+                                metrics=record_metrics)
+        except ValueError as exc:
+            # The clobber guard: an on-disk record carries a newer
+            # schema than this tree writes.  Fail the bench loudly
+            # instead of littering results/ with a partial downgrade.
+            pytest.fail(f"stale result-record writer for {name!r}: "
+                        f"{exc}")
         print()
         print(text)
 

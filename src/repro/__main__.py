@@ -11,6 +11,7 @@ Usage::
     python -m repro fuzz --cases 200     # differential fuzzing campaign
     python -m repro serve --tenants 3    # multi-tenant serving simulator
     python -m repro race --fuzz-cases 50 # data-race scan (detector + static)
+    python -m repro profile --top 10     # hierarchical perf attribution
 
 Artefacts that need long sweeps accept ``--subset N`` to restrict to the
 first N benchmarks of the relevant set.  ``bench`` runs every artefact
@@ -96,12 +97,16 @@ def main(argv=None) -> int:
         # Forward to the race scanner: python -m repro race ...
         from repro.racedetect.cli import main as race_main
         return race_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # Forward to the profiler: python -m repro profile ...
+        from repro.profiler.cli import main as profile_main
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate GPUShield paper tables/figures.")
     parser.add_argument("artifact",
                         help="one of: list, fuzz, bench, oracle, serve, "
-                             "race, " + ", ".join(ARTIFACTS))
+                             "race, profile, " + ", ".join(ARTIFACTS))
     parser.add_argument("--subset", type=int, default=None,
                         help="restrict sweeps to the first N benchmarks")
     args = parser.parse_args(argv)
@@ -111,6 +116,12 @@ def main(argv=None) -> int:
         for name in ARTIFACTS:
             print(f"  {name}")
         return 0
+    if args.artifact not in ARTIFACTS:
+        # run_artifact raises SystemExit for API compatibility; the CLI
+        # reports a clean validation error on stderr instead.
+        print(f"unknown artefact {args.artifact!r} "
+              f"(try: python -m repro list)", file=sys.stderr)
+        return 2
     print(run_artifact(args.artifact, args.subset))
     return 0
 

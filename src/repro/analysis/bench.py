@@ -72,6 +72,21 @@ def write_result_record(results_dir: str, name: str, text: str, *,
     metrics (cycles, overhead %), and the raw data series.
     """
     os.makedirs(results_dir, exist_ok=True)
+    json_path = os.path.join(results_dir, f"{name}.json")
+    # Clobber guard: a record written by a newer schema must not be
+    # silently downgraded — bump RESULT_SCHEMA (and migrate) instead.
+    if os.path.exists(json_path):
+        try:
+            with open(json_path) as fh:
+                existing = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            existing = None
+        if (isinstance(existing, dict)
+                and int(existing.get("schema", 0)) > RESULT_SCHEMA):
+            raise ValueError(
+                f"refusing to overwrite {json_path}: its schema "
+                f"{existing['schema']} is newer than this writer's "
+                f"({RESULT_SCHEMA}); bump RESULT_SCHEMA to migrate")
     txt_path = os.path.join(results_dir, f"{name}.txt")
     with open(txt_path, "w") as fh:
         fh.write(text + "\n")
@@ -82,7 +97,6 @@ def write_result_record(results_dir: str, name: str, text: str, *,
         "metrics": metrics or {},
         "data": data,
     }
-    json_path = os.path.join(results_dir, f"{name}.json")
     with open(json_path, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True, default=str)
     return json_path
@@ -890,6 +904,24 @@ def _parse_args(argv):
     parser.add_argument("--service-requests", type=int, default=6,
                         help="requests per tenant for --service "
                              "(default 6)")
+    parser.add_argument("--gate", action="store_true",
+                        help="perf-regression gate: measure the gate "
+                             "workload slice, compare against the "
+                             "committed baseline, exit nonzero on "
+                             "regression (see docs/profiling.md)")
+    parser.add_argument("--gate-record", action="store_true",
+                        help="re-record the gate baseline from a fresh "
+                             "measurement instead of comparing")
+    parser.add_argument("--gate-baseline",
+                        default="benchmarks/baselines/gate_baseline.json",
+                        help="baseline file for --gate/--gate-record")
+    parser.add_argument("--gate-workloads", default="bfs,gaussian",
+                        help="comma-separated gate workload slice "
+                             "(default: bfs,gaussian)")
+    parser.add_argument("--gate-tolerance-scale", type=float, default=1.0,
+                        help="multiply the wall-clock tolerances (CI "
+                             "uses >1 on noisy shared runners; exact "
+                             "metrics are unaffected)")
     parser.add_argument("--skip-sweeps", action="store_true",
                         help="only measure fuzz throughput")
     parser.add_argument("--fuzz-cases", type=int, default=0,
@@ -903,6 +935,24 @@ def main(argv=None) -> int:
     args = _parse_args(argv)
     artifacts = ([a.strip() for a in args.artifacts.split(",") if a.strip()]
                  if args.artifacts else None)
+    if artifacts:
+        bad = [a for a in artifacts if a not in ARTIFACTS]
+        if bad:
+            print(f"unknown artefacts: {bad} (have {list(ARTIFACTS)})",
+                  file=sys.stderr)
+            return 2
+
+    if args.gate or args.gate_record:
+        from repro.profiler.gate import run_gate
+        return run_gate(
+            workloads=[w.strip()
+                       for w in args.gate_workloads.split(",")
+                       if w.strip()],
+            seed=args.seed, baseline_path=args.gate_baseline,
+            results_dir=args.results_dir,
+            tolerance_scale=args.gate_tolerance_scale,
+            record=args.gate_record)
+
     record: Dict[str, object] = {
         "schema": 1,
         "generated_by": "python -m repro bench",
@@ -995,8 +1045,13 @@ def main(argv=None) -> int:
             return 1
 
     if args.out and args.out != "-":
-        with open(args.out, "w") as fh:
-            json.dump(record, fh, indent=2, sort_keys=True)
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(record, fh, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"cannot write run record to {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"[bench] run record written to {args.out}")
     return 0
 

@@ -169,6 +169,10 @@ def release_device(device: Optional[GpuDevice]) -> None:
     # threads' access sites, so a detector riding into the pool would
     # leak one tenant's access pattern to the next acquirer.
     device.gpu.detach_race_detector()
+    # And for profilers: an attached profiler would keep attributing the
+    # next tenant's accesses (and keep the fast engine delegating to the
+    # reference pipeline — a silent slowdown on top of the leak).
+    device.gpu.detach_profiler()
     key = device._cache_key
     if key is None or not _warm:
         _stats["discards"] += 1

@@ -442,12 +442,14 @@ class FastMemoryPipeline(MemoryPipeline):
                cycle: int) -> AccessResult:
         tracer = self.tracer
         if ((tracer is not None and tracer.stage_level)
-                or self.race_detector is not None):
-            # Stage-level tracing wants per-stage events and the race
-            # detector wants the commit hook; take the reference
-            # pipeline, which runs against this object's fast
+                or self.race_detector is not None
+                or self.profiler is not None):
+            # Stage-level tracing wants per-stage events, the race
+            # detector wants the commit hook, and the profiler wants
+            # the per-stage breakdown plus wall marks; take the
+            # reference pipeline, which runs against this object's fast
             # structures (bit-identical by the engine contract) and
-            # carries both hooks.  Untraced runs never reach here.
+            # carries all three hooks.  Unhooked runs never reach here.
             return MemoryPipeline.access(self, warp, job, request, cycle)
         if request.space == "shared":
             return self._access_shared_fast(warp, job, request, cycle)

@@ -85,6 +85,7 @@ class GPU:
             for i in range(config.num_cores)
         ]
         self._race_detector = None
+        self._profiler = None
         self.stats = self._build_stats_registry()
 
     def _build_stats_registry(self):
@@ -120,6 +121,10 @@ class GPU:
             "racedetect",
             lambda: (self._race_detector.stats()
                      if self._race_detector is not None else {}))
+        registry.register(
+            "profiler",
+            lambda: (self._profiler.stats()
+                     if self._profiler is not None else {}))
         return registry
 
     def attach_tracer(self, tracer) -> None:
@@ -146,6 +151,22 @@ class GPU:
         never survive into another tenant's acquisition)."""
         self.attach_race_detector(None)
 
+    def attach_profiler(self, profiler) -> None:
+        """Attribute every warp memory access into a
+        :class:`~repro.profiler.profile.Profiler`; the fast engine
+        delegates hooked accesses to the reference pipeline."""
+        self._profiler = profiler
+        for core in self.cores:
+            core.pipeline.profiler = profiler
+        if profiler is not None and not profiler.engine:
+            profiler.engine = self.engine
+
+    def detach_profiler(self) -> None:
+        """Drop any attached profiler (same pool-hygiene contract as
+        :meth:`detach_tracer`: a pooled device must never keep feeding
+        a previous tenant's profile)."""
+        self.attach_profiler(None)
+
     def reset(self) -> None:
         """Scrub every micro-architectural structure back to cold state.
 
@@ -168,7 +189,9 @@ class GPU:
                 core.pipeline.checker = None
             core.tracer = None
             core.pipeline.race_detector = None
+            core.pipeline.profiler = None
         self._race_detector = None
+        self._profiler = None
         self.stats.reset()
 
     # -- dispatch ------------------------------------------------------------------

@@ -120,6 +120,7 @@ class MemoryPipeline:
         self.checker = checker
         self.tracer = None   # optional MemoryTracer (analysis.trace)
         self.race_detector = None   # optional RaceDetector (racedetect)
+        self.profiler = None   # optional Profiler (profiler.profile)
         # (launch_key, wg) -> shared-memory scratchpad
         self._shared: Dict[Tuple[int, int], bytearray] = {}
 
@@ -222,6 +223,13 @@ class MemoryPipeline:
         tracer = self.tracer
         stage = tracer is not None and tracer.stage_level
 
+        # Profiling (same seam): a detached profiler costs one is-None
+        # test; attached, the pipeline brackets its stage boundaries
+        # with the profiler's clock and hands over the finished result.
+        prof = self.profiler
+        clock = prof.clock if prof is not None else None
+        t0 = clock() if clock else 0
+
         result = AccessResult(space=request.space, is_store=request.is_store)
         ca = self.coalesce(request)
         result.coalesced = ca
@@ -236,6 +244,7 @@ class MemoryPipeline:
                 lo=ca.min_addr, hi=ca.max_addr,
                 transactions=ca.num_transactions,
                 segments=ca.transactions, active_lanes=ca.active_lanes)
+        t_coal = clock() if clock else 0
 
         # LSU timing per transaction (they pipeline; the slowest dominates).
         level1 = self._level1_for(request.space)
@@ -267,6 +276,7 @@ class MemoryPipeline:
                     level=("l1" if cr.l1_hit
                            else "l2" if cr.l2_hit else "dram"))
         result.latency = worst + (ca.num_transactions - 1)
+        t_tim = clock() if clock else 0
 
         # Bounds checking (overlapped with the LSU pipeline, Figure 12).
         if self.checker is not None:
@@ -292,6 +302,7 @@ class MemoryPipeline:
                     check_latency=outcome.check_latency,
                     stall=outcome.stall_cycles,
                     rbt_fill=outcome.rbt_fill)
+        t_chk = clock() if clock else 0
 
         if not result.allowed:
             # §5.5.2 logging policy: zero loads, drop stores silently.
@@ -300,6 +311,9 @@ class MemoryPipeline:
                     warp, request,
                     {lane: 0 for lane in request.active_lanes})
             self._trace(warp, request, cycle, result)
+            if prof is not None:
+                prof.on_access(self, warp, job, request, result,
+                               (t0, t_coal, t_tim, t_chk, clock()))
             return result
 
         self.commit(warp, job, request, ca)
@@ -309,10 +323,15 @@ class MemoryPipeline:
         if detector is not None:
             detector.on_access(self, warp, job, request, cycle)
         self._trace(warp, request, cycle, result)
+        if prof is not None:
+            prof.on_access(self, warp, job, request, result,
+                           (t0, t_coal, t_tim, t_chk, clock()))
         return result
 
     def _access_shared(self, warp: WarpState, job, request: MemRequest,
                        cycle: int) -> AccessResult:
+        prof = self.profiler
+        t0 = prof.clock() if prof is not None else 0
         self.do_shared(warp, job, request)
         detector = self.race_detector
         if detector is not None:
@@ -323,6 +342,9 @@ class MemoryPipeline:
                               transactions=1, min_addr=min(offs),
                               max_addr=max(offs))
         self._trace(warp, request, cycle, result)
+        if prof is not None:
+            prof.on_access(self, warp, job, request, result,
+                           (t0, t0, t0, t0, prof.clock()))
         return result
 
     # -- stage 5: functional commit ----------------------------------------------------

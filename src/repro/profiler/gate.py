@@ -1,0 +1,315 @@
+"""The perf-regression gate: ``python -m repro bench --gate``.
+
+The gate compares a fresh measurement of a small, fixed workload slice
+against a committed baseline (``benchmarks/baselines/``) and exits
+nonzero on regression.  Metrics come in two kinds:
+
+* **exact** — deterministic simulated quantities (cycles per workload
+  under base and GPUShield, the profiler's check-stage share, the
+  reconciliation bit).  These are identical on every machine, so their
+  tolerance is zero: *any* drift is a behaviour change that needs a
+  deliberate baseline re-record (see docs/profiling.md).
+* **lower** — host wall-clock. Noisy by nature, so each carries an
+  explicit relative tolerance, and CI scales the allowance further via
+  ``--gate-tolerance-scale`` (shared runners are slow and uneven).
+
+Every gate run also runs a **self-test**: it injects an artificial
+slowdown (exact metrics nudged, wall metrics pushed past 2x their
+scaled allowance) into a copy of the measurement and asserts the
+comparator flags every metric.  A gate that cannot detect its own
+injected regression fails — a dead tripwire is worse than none.
+
+Each run appends to the ``BENCH_profile.json`` trajectory under
+``benchmarks/results/`` through the standard result-record envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+GATE_SCHEMA = 1
+
+DEFAULT_BASELINE = "benchmarks/baselines/gate_baseline.json"
+DEFAULT_GATE_WORKLOADS = ("bfs", "gaussian")
+
+#: Relative allowance for wall-clock ("lower") metrics before
+#: ``--gate-tolerance-scale`` is applied.
+WALL_TOLERANCE = 0.75
+
+#: Trajectory entries kept in BENCH_profile.json.
+TRAJECTORY_CAP = 50
+
+
+def measure_gate(workloads: Sequence[str], *,
+                 seed: int = 11) -> Dict[str, dict]:
+    """Measure the gate slice: {metric: {value, direction, tolerance}}.
+
+    Per workload: base-config cycles, GPUShield cycles, the profiler's
+    attributed latency and check-stage cycles (check + stalls) and the
+    reconciliation bit — all exact — plus two wall-clock aggregates.
+    """
+    from repro.analysis.harness import run_workload
+    from repro.gpu.config import nvidia_config
+    from repro.profiler.collect import profile_benchmark
+    from repro.workloads.suite import get_benchmark
+
+    def exact(value) -> dict:
+        return {"value": int(value), "direction": "exact",
+                "tolerance": 0.0}
+
+    config = nvidia_config(num_cores=1)
+    metrics: Dict[str, dict] = {}
+
+    started = time.monotonic()
+    for name in workloads:
+        record = run_workload(get_benchmark(name).build(), config=config,
+                              config_name="gate-base", seed=seed)
+        metrics[f"cycles.{name}.base"] = exact(record.cycles)
+    workload_wall = time.monotonic() - started
+
+    started = time.monotonic()
+    for name in workloads:
+        report = profile_benchmark(name, config=config, seed=seed)
+        snapshot = report.snapshot
+        total = snapshot.latency_cycles()
+        check = snapshot.total("cores.*.check.cycles") + \
+            snapshot.total("cores.*.check.stall_cycles")
+        metrics[f"cycles.{name}.gpushield"] = exact(report.record.cycles)
+        metrics[f"profile.{name}.latency_cycles"] = exact(total)
+        metrics[f"profile.{name}.check_cycles"] = exact(check)
+        metrics[f"profile.{name}.reconciled"] = exact(report.reconciled)
+    profile_wall = time.monotonic() - started
+
+    metrics["wall.workloads_seconds"] = {
+        "value": round(workload_wall, 3), "direction": "lower",
+        "tolerance": WALL_TOLERANCE}
+    metrics["wall.profile_seconds"] = {
+        "value": round(profile_wall, 3), "direction": "lower",
+        "tolerance": WALL_TOLERANCE}
+    return metrics
+
+
+def compare_to_baseline(measured: Dict[str, float],
+                        baseline: Dict[str, dict],
+                        scale: float = 1.0) -> List[dict]:
+    """Regressions of ``measured`` against ``baseline`` metric specs.
+
+    Exact metrics regress on any inequality; "lower" metrics regress
+    past ``base * (1 + tolerance * scale)``.  A metric present on only
+    one side is a regression too — a silently dropped metric must not
+    read as a pass.
+    """
+    regressions: List[dict] = []
+    for name, spec in sorted(baseline.items()):
+        if name not in measured:
+            regressions.append({"metric": name, "baseline": spec["value"],
+                                "measured": None,
+                                "reason": "metric missing from this run"})
+            continue
+        value = measured[name]
+        base = spec["value"]
+        if spec["direction"] == "exact":
+            if value != base:
+                regressions.append({
+                    "metric": name, "baseline": base, "measured": value,
+                    "reason": "exact metric drifted (deterministic "
+                              "behaviour change; re-record deliberately)"})
+            continue
+        allowed = base * (1.0 + float(spec["tolerance"]) * scale)
+        if value > allowed:
+            regressions.append({
+                "metric": name, "baseline": base, "measured": value,
+                "reason": f"exceeds allowance {allowed:.3f} "
+                          f"(tolerance {spec['tolerance']} x scale "
+                          f"{scale})"})
+    for name in sorted(set(measured) - set(baseline)):
+        regressions.append({"metric": name, "baseline": None,
+                            "measured": measured[name],
+                            "reason": "not in baseline (re-record to "
+                                      "adopt new metrics)"})
+    return regressions
+
+
+def inject_slowdown(baseline: Dict[str, dict],
+                    scale: float = 1.0) -> Dict[str, float]:
+    """A synthetic regressed measurement: every metric made to fail.
+
+    Wall metrics land at twice their *scaled* allowance (so detection
+    holds at any ``--gate-tolerance-scale``); exact metrics are nudged
+    off by one.
+    """
+    injected: Dict[str, float] = {}
+    for name, spec in baseline.items():
+        if spec["direction"] == "lower":
+            injected[name] = (spec["value"]
+                              * (1.0 + float(spec["tolerance"]) * scale)
+                              * 2.0 + 1.0)
+        else:
+            injected[name] = spec["value"] + 1
+    return injected
+
+
+def self_test(baseline: Dict[str, dict],
+              scale: float = 1.0) -> List[str]:
+    """Metric names the comparator FAILED to flag under injection."""
+    injected = inject_slowdown(baseline, scale)
+    flagged = {r["metric"]
+               for r in compare_to_baseline(injected, baseline, scale)}
+    return sorted(set(baseline) - flagged)
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    schema = int(data.get("schema", 0))
+    if schema > GATE_SCHEMA:
+        raise ValueError(f"baseline schema {schema} is newer than "
+                         f"supported ({GATE_SCHEMA})")
+    return data
+
+
+def _render(workloads: Sequence[str], seed: int, scale: float,
+            measured: Dict[str, dict], baseline: Optional[dict],
+            regressions: List[dict], undetected: List[str]) -> str:
+    lines = [f"Perf gate: {', '.join(workloads)} (seed {seed}, "
+             f"tolerance scale {scale})", ""]
+    base_metrics = (baseline or {}).get("metrics", {})
+    lines.append(f"  {'metric':<32} {'baseline':>12} {'measured':>12} "
+                 f"status")
+    for name in sorted(set(measured) | set(base_metrics)):
+        base = base_metrics.get(name, {}).get("value")
+        value = measured.get(name, {}).get("value")
+        bad = any(r["metric"] == name for r in regressions)
+        lines.append(f"  {name:<32} "
+                     f"{'-' if base is None else base:>12} "
+                     f"{'-' if value is None else value:>12} "
+                     f"{'REGRESSED' if bad else 'ok'}")
+    lines.append("")
+    for reg in regressions:
+        lines.append(f"  REGRESSION {reg['metric']}: "
+                     f"{reg['baseline']} -> {reg['measured']} "
+                     f"({reg['reason']})")
+    lines.append(f"  self-test: injected slowdown "
+                 + ("detected on every metric" if not undetected
+                    else f"NOT detected on {undetected}"))
+    lines.append(f"  verdict: "
+                 + ("PASS" if not regressions and not undetected
+                    else "FAIL"))
+    return "\n".join(lines)
+
+
+def _record_trajectory(results_dir: str, text: str, entry: dict,
+                       config: dict) -> None:
+    """Append one gate run to the BENCH_profile.json trajectory."""
+    from repro.analysis.bench import RESULT_SCHEMA, write_result_record
+    path = os.path.join(results_dir, "BENCH_profile.json")
+    trajectory: List[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                prior = json.load(fh)
+            if int(prior.get("schema", 0)) == RESULT_SCHEMA:
+                trajectory = list(
+                    (prior.get("data") or {}).get("trajectory") or [])
+        except (json.JSONDecodeError, OSError, ValueError):
+            trajectory = []
+    trajectory.append(entry)
+    trajectory = trajectory[-TRAJECTORY_CAP:]
+    write_result_record(
+        results_dir, "BENCH_profile", text,
+        data={"trajectory": trajectory},
+        config=config,
+        metrics={"runs_recorded": len(trajectory),
+                 "regressions": len(entry["regressions"]),
+                 "ok": entry["ok"]})
+
+
+def run_gate(*, workloads: Sequence[str], seed: int = 11,
+             baseline_path: str = DEFAULT_BASELINE,
+             results_dir: str = "benchmarks/results",
+             tolerance_scale: float = 1.0,
+             record: bool = False) -> int:
+    """Drive one gate run (or, with ``record``, re-record the baseline)."""
+    from repro.analysis.bench import default_record_config
+    from repro.workloads.suite import CUDA_BENCHMARKS
+
+    workloads = [w for w in workloads if w]
+    bad = [w for w in workloads if w not in CUDA_BENCHMARKS]
+    if bad:
+        print(f"unknown gate workloads: {bad}", file=sys.stderr)
+        return 2
+    if not workloads:
+        print("no gate workloads", file=sys.stderr)
+        return 2
+    if tolerance_scale <= 0:
+        print(f"--gate-tolerance-scale must be positive "
+              f"(got {tolerance_scale})", file=sys.stderr)
+        return 2
+
+    config = default_record_config()
+    config.update({"workloads": list(workloads), "seed": seed,
+                   "tolerance_scale": tolerance_scale,
+                   "baseline": baseline_path})
+    measured = measure_gate(workloads, seed=seed)
+
+    if record:
+        baseline = {"schema": GATE_SCHEMA, "config": config,
+                    "metrics": measured}
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        with open(baseline_path, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        undetected = self_test(measured, tolerance_scale)
+        text = _render(workloads, seed, tolerance_scale, measured,
+                       baseline, [], undetected)
+        print(text)
+        print(f"\nbaseline recorded to {baseline_path} "
+              f"({len(measured)} metrics)")
+        _record_trajectory(results_dir, text, {
+            "mode": "record", "seed": seed, "ok": not undetected,
+            "metrics": {k: v["value"] for k, v in measured.items()},
+            "regressions": []}, config)
+        if undetected:
+            print(f"gate self-test failed on the fresh baseline: "
+                  f"{undetected}", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except FileNotFoundError:
+        print(f"no gate baseline at {baseline_path!r} — record one "
+              f"with: python -m repro bench --gate-record",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError) as exc:
+        print(f"unusable gate baseline {baseline_path!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    values = {k: v["value"] for k, v in measured.items()}
+    regressions = compare_to_baseline(values, baseline["metrics"],
+                                      tolerance_scale)
+    undetected = self_test(baseline["metrics"], tolerance_scale)
+
+    text = _render(workloads, seed, tolerance_scale, measured, baseline,
+                   regressions, undetected)
+    print(text)
+    _record_trajectory(results_dir, text, {
+        "mode": "gate", "seed": seed,
+        "ok": not regressions and not undetected,
+        "metrics": values, "regressions": regressions}, config)
+
+    if regressions or undetected:
+        print(f"\nperf gate FAILED: {len(regressions)} regression(s)"
+              + (f", self-test missed {undetected}" if undetected
+                 else ""),
+              file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({len(values)} metrics within "
+          f"tolerance)")
+    return 0

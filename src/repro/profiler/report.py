@@ -1,0 +1,151 @@
+"""Profile rendering: flame-style JSON and the text top-N report."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.profiler.profile import (PROFILE_SCHEMA, STAGES, WALL_STAGES,
+                                    ProfileSnapshot)
+
+#: Shield sub-steps surfaced as children of the ``check`` frame, with
+#: the counter that carries their attributed cycles (rbt) or count.
+_CHECK_SUBSTEPS = (
+    ("decode", "check.checked"),
+    ("static_skipped", "check.static_skipped"),
+    ("decrypt", "check.decrypt"),
+    ("rcache_l1_probe", "check.rcache_l1_probes"),
+    ("rcache_l2_probe", "check.rcache_l2_probes"),
+    ("rbt_fill", "check.rbt_fills"),
+)
+
+
+def _core_ids(snapshot: ProfileSnapshot) -> List[int]:
+    return sorted({int(path.split(".")[1])
+                   for path in snapshot.counters})
+
+
+def flame(snapshot: ProfileSnapshot) -> dict:
+    """A flame-graph-style tree: gpu -> core -> stage -> sub-step.
+
+    ``value`` is attributed simulated cycles; counts ride alongside so
+    a flame viewer (or a human) can tell a hot stage from a busy one.
+    """
+    cores = []
+    for cid in _core_ids(snapshot):
+        get = snapshot.counters.get
+        pre = f"cores.{cid}"
+        stages = []
+        for stage in STAGES:
+            cycles = get(f"{pre}.{stage}.cycles", 0)
+            node: Dict[str, object] = {"name": stage, "value": cycles}
+            if stage == "check":
+                node["stall_cycles"] = get(f"{pre}.check.stall_cycles", 0)
+                children = []
+                for sub, counter in _CHECK_SUBSTEPS:
+                    count = get(f"{pre}.{counter}", 0)
+                    if not count:
+                        continue
+                    child = {"name": sub, "count": count}
+                    if sub == "rbt_fill":
+                        child["value"] = get(f"{pre}.check.rbt_cycles", 0)
+                    children.append(child)
+                if children:
+                    node["children"] = children
+            elif stage in ("coalesce", "commit", "shared", "issue"):
+                count_key = {"coalesce": f"{pre}.coalesce.transactions",
+                             "commit": f"{pre}.commit.accesses",
+                             "shared": f"{pre}.shared.accesses",
+                             "issue": f"{pre}.issue.accesses"}[stage]
+                node["count"] = get(count_key, 0)
+            stages.append(node)
+        cores.append({"name": f"core {cid}",
+                      "value": (get(f"{pre}.total.latency_cycles", 0)
+                                + get(f"{pre}.shared.cycles", 0)),
+                      "children": stages})
+    return {"schema": PROFILE_SCHEMA,
+            "name": "gpu",
+            "engines": sorted(snapshot.engines),
+            "value": snapshot.latency_cycles(),
+            "children": cores}
+
+
+def top_rows(snapshot: ProfileSnapshot, n: int = 15) -> List[dict]:
+    """The N hottest (core, stage) frames by attributed cycles."""
+    rows = []
+    for path, cycles in snapshot.counters.items():
+        parts = path.split(".")
+        if parts[-1] != "cycles" or parts[2] in ("total", "check"):
+            continue
+        rows.append({"path": f"{parts[0]}.{parts[1]}.{parts[2]}",
+                     "cycles": cycles})
+    for cid in _core_ids(snapshot):
+        check = snapshot.counters.get(f"cores.{cid}.check.cycles", 0)
+        stall = snapshot.counters.get(
+            f"cores.{cid}.check.stall_cycles", 0)
+        if check or stall:
+            rows.append({"path": f"cores.{cid}.check",
+                         "cycles": check + stall})
+    rows.sort(key=lambda r: (-r["cycles"], r["path"]))
+    return rows[:n]
+
+
+def render(snapshot: ProfileSnapshot, subjects: List[dict],
+           top_n: int = 15) -> str:
+    """The text report: stage totals, shield sub-steps, top-N, wall."""
+    total = snapshot.latency_cycles()
+    engines = ", ".join(sorted(snapshot.engines)) or "default"
+    lines = [f"profile: engine(s) {engines}, "
+             f"{len(subjects)} subject(s), "
+             f"{total} attributed latency cycles", ""]
+
+    lines.append(f"  {'stage':<12} {'cycles':>12} {'share':>7}")
+    for stage, cycles in snapshot.stage_cycles().items():
+        share = (100.0 * cycles / total) if total else 0.0
+        lines.append(f"  {stage:<12} {cycles:>12} {share:>6.1f}%")
+    stall = snapshot.total("cores.*.check.stall_cycles")
+    lines.append(f"  {'(check stalls':<12} {stall:>12} issue bubbles, "
+                 "outside latency)")
+
+    checked = snapshot.total("cores.*.check.checked")
+    if checked:
+        lines.append("")
+        lines.append(
+            f"  shield: {checked} checked "
+            f"({snapshot.total('cores.*.check.static_skipped')} static, "
+            f"{snapshot.total('cores.*.check.type2')} type2, "
+            f"{snapshot.total('cores.*.check.type3')} type3), "
+            f"rcache l1 "
+            f"{snapshot.total('cores.*.check.rcache_l1_hits')}/"
+            f"{snapshot.total('cores.*.check.rcache_l1_probes')} hit, "
+            f"l2 {snapshot.total('cores.*.check.rcache_l2_hits')}/"
+            f"{snapshot.total('cores.*.check.rcache_l2_probes')} hit, "
+            f"{snapshot.total('cores.*.check.rbt_fills')} rbt fills "
+            f"({snapshot.total('cores.*.check.rbt_cycles')} cycles)")
+
+    rows = top_rows(snapshot, top_n)
+    if rows:
+        lines.append("")
+        lines.append(f"  top {len(rows)} frames")
+        for row in rows:
+            share = (100.0 * row["cycles"] / total) if total else 0.0
+            lines.append(f"    {row['path']:<28} {row['cycles']:>12} "
+                         f"{share:>6.1f}%")
+
+    wall_total = sum(snapshot.wall_ns.values())
+    if wall_total:
+        lines.append("")
+        lines.append(f"  host wall inside the pipeline: "
+                     f"{wall_total / 1e6:.1f} ms")
+        for stage in WALL_STAGES:
+            ns = sum(v for k, v in snapshot.wall_ns.items()
+                     if k.endswith(f"{stage}.wall_ns"))
+            lines.append(f"    {stage:<12} {ns / 1e6:>9.1f} ms "
+                         f"{100.0 * ns / wall_total:>6.1f}%")
+
+    if subjects:
+        lines.append("")
+        lines.append(f"  {'subject':<28} {'cycles':>12} reconciled")
+        for sub in subjects:
+            lines.append(f"  {sub['subject']:<28} {sub['cycles']:>12} "
+                         f"{'yes' if sub['reconciled'] else 'NO'}")
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ _LAZY: Dict[str, str] = {
     "oracle.diff": "repro.oracle.runner:oracle_diff_job",
     "service.shard": "repro.service.executor:run_service_shard",
     "race.scan": "repro.racedetect.runner:race_scan_job",
+    "profile.workload": "repro.profiler.runner:profile_shard_job",
 }
 
 

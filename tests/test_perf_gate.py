@@ -1,0 +1,187 @@
+"""The perf-regression gate: comparator, self-test, records, guards."""
+
+import json
+import os
+
+import pytest
+
+from repro.profiler.gate import (GATE_SCHEMA, compare_to_baseline,
+                                 inject_slowdown, load_baseline,
+                                 run_gate, self_test)
+
+
+def _spec(value, direction="exact", tolerance=0.0):
+    return {"value": value, "direction": direction,
+            "tolerance": tolerance}
+
+
+class TestComparator:
+    def test_identical_measurement_passes(self):
+        baseline = {"cycles.bfs.base": _spec(1000),
+                    "wall.s": _spec(2.0, "lower", 0.75)}
+        assert compare_to_baseline({"cycles.bfs.base": 1000,
+                                    "wall.s": 2.1}, baseline) == []
+
+    def test_exact_metric_regresses_on_any_drift(self):
+        baseline = {"cycles.bfs.base": _spec(1000)}
+        for bad in (999, 1001):
+            regs = compare_to_baseline({"cycles.bfs.base": bad}, baseline)
+            assert len(regs) == 1
+            assert regs[0]["metric"] == "cycles.bfs.base"
+
+    def test_wall_metric_honours_tolerance_and_scale(self):
+        baseline = {"wall.s": _spec(2.0, "lower", 0.5)}
+        # Within 2.0 * 1.5: fine.  Past it: regression.  Faster: fine.
+        assert compare_to_baseline({"wall.s": 2.9}, baseline) == []
+        assert compare_to_baseline({"wall.s": 3.1}, baseline)
+        assert compare_to_baseline({"wall.s": 0.4}, baseline) == []
+        # Scale 4 widens the allowance to 2.0 * 3.
+        assert compare_to_baseline({"wall.s": 5.9}, baseline, 4.0) == []
+        assert compare_to_baseline({"wall.s": 6.1}, baseline, 4.0)
+
+    def test_two_x_slowdown_detected(self):
+        baseline = {"wall.s": _spec(2.0, "lower", 0.75)}
+        regs = compare_to_baseline({"wall.s": 4.0}, baseline)
+        assert regs and "allowance" in regs[0]["reason"]
+
+    def test_missing_metric_either_side_is_a_regression(self):
+        baseline = {"a": _spec(1), "b": _spec(2)}
+        regs = compare_to_baseline({"a": 1, "c": 3}, baseline)
+        reasons = {r["metric"]: r["reason"] for r in regs}
+        assert "missing" in reasons["b"]
+        assert "not in baseline" in reasons["c"]
+
+
+class TestSelfTest:
+    def test_injection_regresses_every_metric(self):
+        baseline = {"cycles.x": _spec(100),
+                    "profile.x.reconciled": _spec(1),
+                    "wall.s": _spec(1.5, "lower", 0.75)}
+        for scale in (1.0, 4.0):
+            injected = inject_slowdown(baseline, scale)
+            flagged = {r["metric"] for r in
+                       compare_to_baseline(injected, baseline, scale)}
+            assert flagged == set(baseline)
+            assert self_test(baseline, scale) == []
+
+    def test_dead_comparator_is_reported(self):
+        # A baseline with an absurd tolerance cannot trip on its own
+        # wall metric... but injection lands at 2x the scaled allowance,
+        # so even that stays detectable; a genuinely undetectable spec
+        # (value 0 with itself) shows up in the undetected list.
+        baseline = {"wall.z": _spec(0.0, "lower", 0.75)}
+        # 0 * anything + 1.0 > 0 allowance -> still detected.
+        assert self_test(baseline) == []
+
+
+class TestGateEndToEnd:
+    WORKLOADS = ["bfs"]
+
+    def _paths(self, tmp_path):
+        return (str(tmp_path / "baselines" / "gate_baseline.json"),
+                str(tmp_path / "results"))
+
+    def test_record_then_gate_passes_then_injected_drift_fails(
+            self, tmp_path, capsys):
+        baseline_path, results = self._paths(tmp_path)
+        assert run_gate(workloads=self.WORKLOADS, seed=11,
+                        baseline_path=baseline_path,
+                        results_dir=results, record=True) == 0
+        capsys.readouterr()
+
+        # Freshly recorded baseline gates clean (exact metrics are
+        # deterministic; wall metrics re-measure within tolerance).
+        assert run_gate(workloads=self.WORKLOADS, seed=11,
+                        baseline_path=baseline_path,
+                        results_dir=results,
+                        tolerance_scale=8.0) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+        # Injected slowdown: shift one exact metric in the baseline —
+        # equivalent to the measurement drifting — and the gate trips.
+        baseline = load_baseline(baseline_path)
+        name = next(k for k in baseline["metrics"]
+                    if k.startswith("cycles."))
+        baseline["metrics"][name]["value"] += 1
+        with open(baseline_path, "w") as fh:
+            json.dump(baseline, fh)
+        assert run_gate(workloads=self.WORKLOADS, seed=11,
+                        baseline_path=baseline_path,
+                        results_dir=results,
+                        tolerance_scale=8.0) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+
+    def test_trajectory_appends_across_runs(self, tmp_path, capsys):
+        baseline_path, results = self._paths(tmp_path)
+        run_gate(workloads=self.WORKLOADS, seed=11,
+                 baseline_path=baseline_path, results_dir=results,
+                 record=True)
+        run_gate(workloads=self.WORKLOADS, seed=11,
+                 baseline_path=baseline_path, results_dir=results,
+                 tolerance_scale=8.0)
+        capsys.readouterr()
+        with open(os.path.join(results, "BENCH_profile.json")) as fh:
+            record = json.load(fh)
+        trajectory = record["data"]["trajectory"]
+        assert len(trajectory) == 2
+        assert [e["mode"] for e in trajectory] == ["record", "gate"]
+        assert trajectory[1]["ok"] is True
+        # The text twin rides along via the standard envelope.
+        assert os.path.exists(os.path.join(results, "BENCH_profile.txt"))
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path, capsys):
+        baseline_path, results = self._paths(tmp_path)
+        assert run_gate(workloads=self.WORKLOADS, seed=11,
+                        baseline_path=baseline_path,
+                        results_dir=results) == 2
+        assert "--gate-record" in capsys.readouterr().err
+
+    def test_bad_args_are_usage_errors(self, tmp_path, capsys):
+        baseline_path, results = self._paths(tmp_path)
+        assert run_gate(workloads=["not-a-benchmark"],
+                        baseline_path=baseline_path,
+                        results_dir=results) == 2
+        assert run_gate(workloads=[], baseline_path=baseline_path,
+                        results_dir=results) == 2
+        assert run_gate(workloads=self.WORKLOADS,
+                        baseline_path=baseline_path,
+                        results_dir=results, tolerance_scale=0) == 2
+        capsys.readouterr()
+
+    def test_newer_baseline_schema_refused(self, tmp_path, capsys):
+        baseline_path, results = self._paths(tmp_path)
+        os.makedirs(os.path.dirname(baseline_path))
+        with open(baseline_path, "w") as fh:
+            json.dump({"schema": GATE_SCHEMA + 1, "metrics": {}}, fh)
+        assert run_gate(workloads=self.WORKLOADS,
+                        baseline_path=baseline_path,
+                        results_dir=results) == 2
+        assert "newer" in capsys.readouterr().err
+
+
+class TestResultRecordClobberGuard:
+    def test_newer_schema_record_is_not_overwritten(self, tmp_path):
+        from repro.analysis.bench import (RESULT_SCHEMA,
+                                          write_result_record)
+        results = str(tmp_path)
+        path = os.path.join(results, "BENCH_profile.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": RESULT_SCHEMA + 1, "name":
+                       "BENCH_profile"}, fh)
+        with pytest.raises(ValueError, match="newer"):
+            write_result_record(results, "BENCH_profile", "text")
+        # The newer record survives untouched.
+        with open(path) as fh:
+            assert json.load(fh)["schema"] == RESULT_SCHEMA + 1
+
+    def test_same_schema_record_overwrites_normally(self, tmp_path):
+        from repro.analysis.bench import write_result_record
+        results = str(tmp_path)
+        write_result_record(results, "BENCH_profile", "one",
+                            metrics={"v": 1})
+        write_result_record(results, "BENCH_profile", "two",
+                            metrics={"v": 2})
+        with open(os.path.join(results, "BENCH_profile.json")) as fh:
+            assert json.load(fh)["metrics"]["v"] == 2
